@@ -1,0 +1,61 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Every figure and table of the paper's evaluation has one bench below
+(DESIGN.md carries the experiment index).  The expensive simulations run
+once per session in fixtures; the ``benchmark`` fixture then times the
+figure-generation path, and every test *prints* the regenerated
+rows/series so the output can be compared against the paper (captured in
+EXPERIMENTS.md).
+
+Scale: the defaults reproduce every figure's *shape* in minutes.  Set
+``REPRO_BENCH_FULL=1`` for paper-scale workloads (the full Tier-1-style
+651-event trace, BRITE sweeps to 80 nodes); expect a long run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.harness import run_ls_replay, run_production
+from repro.simnet.engine import SECOND
+from repro.topology import rocketfuel_topology
+from repro.topology.traces import compressed_trace
+
+FULL = bool(int(os.environ.get("REPRO_BENCH_FULL", "0")))
+
+#: Workload sizes (events on the Rocketfuel topology, BRITE sweep sizes).
+N_EVENTS = 100 if FULL else 4
+SWEEP_SIZES = (20, 40, 60, 80) if FULL else (20, 40)
+EVENT_RATES = (2, 4, 6, 8, 10) if FULL else (2, 6, 10)
+EVENT_GAP_US = 8 * SECOND
+
+
+def emit(text: str) -> None:
+    """Print a figure block with spacing that survives pytest capture."""
+    print("\n" + text + "\n")
+
+
+@pytest.fixture(scope="session")
+def sprintlink():
+    return rocketfuel_topology("sprintlink")
+
+
+@pytest.fixture(scope="session")
+def tier1_trace(sprintlink):
+    """The Tier-1-style workload mapped onto Sprintlink (time-compressed)."""
+    return compressed_trace(
+        sprintlink, n_events=N_EVENTS, gap_us=EVENT_GAP_US, start_us=4_097_000
+    )
+
+
+@pytest.fixture(scope="session")
+def sprintlink_runs(sprintlink, tier1_trace):
+    """The paired production runs behind Figure 6: unmodified XORP vs
+    DEFINED-RB, same workload, plus the DEFINED-LS replay."""
+    vanilla = run_production(sprintlink, tier1_trace, mode="vanilla", seed=1)
+    defined = run_production(sprintlink, tier1_trace, mode="defined", seed=1)
+    replay = run_ls_replay(sprintlink, defined.recording)
+    assert replay.fingerprint == defined.fingerprint, "Theorem 1 violated"
+    return {"vanilla": vanilla, "defined": defined, "replay": replay}

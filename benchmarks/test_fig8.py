@@ -1,0 +1,140 @@
+"""Figure 8: scalability over network size and event rate (BRITE graphs).
+
+(a) control packets per node per event vs size: the optimized ordering
+    (OO) stays within a couple of packets of unmodified XORP; random
+    ordering (RO) pays much more;
+(b) convergence time vs size: OO comparable to XORP, RO worse;
+(c) DEFINED-LS step response time vs size: grows slowly, < 0.8 s at 80;
+(d) convergence time vs event rate: grows slowly with events/second.
+"""
+
+import pytest
+
+from conftest import EVENT_RATES, SWEEP_SIZES, emit
+
+from repro.analysis.metrics import mean
+from repro.analysis.report import render_series
+from repro.harness import measure_burst_convergence, run_ls_replay, run_production
+from repro.simnet.engine import SECOND
+from repro.topology import waxman
+from repro.topology.traces import compressed_trace
+
+
+def sweep_workload(graph):
+    return compressed_trace(graph, n_events=4, gap_us=8 * SECOND, start_us=4_097_000)
+
+
+@pytest.fixture(scope="module")
+def size_sweep():
+    """One production run per (size, mode/ordering) point."""
+    results = {}
+    for n in SWEEP_SIZES:
+        graph = waxman(n, seed=3)
+        trace = sweep_workload(graph)
+        results[(n, "XORP")] = run_production(graph, trace, mode="vanilla", seed=1)
+        results[(n, "OO")] = run_production(
+            graph, trace, mode="defined", seed=1, ordering="OO"
+        )
+        results[(n, "RO")] = run_production(
+            graph, trace, mode="defined", seed=1, ordering="RO"
+        )
+        results[(n, "LS")] = run_ls_replay(
+            graph, results[(n, "OO")].recording
+        )
+    return results
+
+
+def test_fig8a_control_vs_size(benchmark, size_sweep):
+    def build():
+        series = {"DEFINED-RB(RO)": [], "DEFINED-RB(OO)": [], "XORP": []}
+        for n in SWEEP_SIZES:
+            series["XORP"].append(mean(size_sweep[(n, "XORP")].packets_per_node_per_event))
+            series["DEFINED-RB(OO)"].append(
+                mean(size_sweep[(n, "OO")].packets_per_node_per_event)
+            )
+            series["DEFINED-RB(RO)"].append(
+                mean(size_sweep[(n, "RO")].packets_per_node_per_event)
+            )
+        return series
+
+    series = benchmark(build)
+    emit(render_series(
+        "Figure 8a: control packets per node per event vs network size",
+        "nodes", list(SWEEP_SIZES), series,
+    ))
+    for i, n in enumerate(SWEEP_SIZES):
+        xorp, oo, ro = series["XORP"][i], series["DEFINED-RB(OO)"][i], series["DEFINED-RB(RO)"][i]
+        # paper: OO adds at most ~2 packets per node; RO costs clearly more
+        assert oo - xorp <= 4.0, f"OO overhead too high at n={n}"
+        assert ro > oo, f"RO should cost more than OO at n={n}"
+
+
+def test_fig8b_convergence_vs_size(benchmark, size_sweep):
+    def build():
+        series = {"DEFINED-RB(RO)": [], "DEFINED-RB(OO)": [], "XORP": []}
+        for n in SWEEP_SIZES:
+            for label, key in (
+                ("XORP", "XORP"), ("DEFINED-RB(OO)", "OO"), ("DEFINED-RB(RO)", "RO")
+            ):
+                series[label].append(
+                    mean(size_sweep[(n, key)].convergence_times_us) / 1e6
+                )
+        return series
+
+    series = benchmark(build)
+    emit(render_series(
+        "Figure 8b: convergence time (s) vs network size",
+        "nodes", list(SWEEP_SIZES), series,
+    ))
+    for i, n in enumerate(SWEEP_SIZES):
+        xorp, oo = series["XORP"][i], series["DEFINED-RB(OO)"][i]
+        ro = series["DEFINED-RB(RO)"][i]
+        # paper: OO average comparable to XORP; RO worse than OO
+        assert oo <= xorp + 1.0
+        assert ro >= oo
+
+
+def test_fig8c_ls_response_vs_size(benchmark, size_sweep):
+    def build():
+        return {
+            "DEFINED-LS": [
+                mean(size_sweep[(n, "LS")].step_times_us) / 1e6 for n in SWEEP_SIZES
+            ]
+        }
+
+    series = benchmark(build)
+    emit(render_series(
+        "Figure 8c: DEFINED-LS step response time (s) vs network size",
+        "nodes", list(SWEEP_SIZES), series,
+    ))
+    values = series["DEFINED-LS"]
+    # paper: grows slowly with size and stays below ~0.8 s at 80 nodes
+    assert all(v < 0.8 for v in values)
+    growth = values[-1] / values[0]
+    size_growth = SWEEP_SIZES[-1] / SWEEP_SIZES[0]
+    assert growth < size_growth, "step time must grow sublinearly in size"
+
+
+def test_fig8d_event_rate(benchmark):
+    graph = waxman(30, seed=3)
+
+    def build():
+        return {
+            "DEFINED-RB": [
+                measure_burst_convergence(
+                    graph, events_per_second=rate, n_events=8,
+                    mode="defined", seed=1,
+                ) / 1e6
+                for rate in EVENT_RATES
+            ]
+        }
+
+    series = benchmark.pedantic(build, rounds=1, iterations=1)
+    emit(render_series(
+        "Figure 8d: convergence time (s) vs event rate",
+        "events/s", list(EVENT_RATES), series,
+    ))
+    values = series["DEFINED-RB"]
+    # paper: a gentle upward trend; ~2 s at 10 events/s
+    assert values[-1] < 8.0
+    assert values[-1] >= values[0] * 0.5  # no pathological blow-up or cliff

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Scalability sweep (paper Section 5.3, Figure 8) at example scale.
+
+Sweeps BRITE-style Waxman topologies over network size and compares:
+
+* control overhead and convergence time for unmodified XORP, DEFINED-RB
+  with the optimized ordering (OO), and DEFINED-RB with random ordering
+  (RO);
+* DEFINED-LS per-step response time.
+
+Run:  python examples/scalability_sweep.py [max_size]
+"""
+
+import sys
+
+from repro.analysis.metrics import mean
+from repro.analysis.report import render_series
+from repro.harness import run_ls_replay, run_production
+from repro.simnet.engine import SECOND
+from repro.topology import waxman
+from repro.topology.traces import compressed_trace
+
+
+def main() -> None:
+    max_size = int(sys.argv[1]) if len(sys.argv) > 1 else 40
+    sizes = [n for n in (20, 30, 40, 60, 80) if n <= max_size]
+
+    packets = {"XORP": [], "DEFINED-RB(OO)": [], "DEFINED-RB(RO)": []}
+    convergence = {"XORP": [], "DEFINED-RB(OO)": [], "DEFINED-RB(RO)": []}
+    response = {"DEFINED-LS": []}
+
+    for n in sizes:
+        print(f"... size {n}")
+        graph = waxman(n, seed=3)
+        trace = compressed_trace(graph, n_events=4, gap_us=8 * SECOND,
+                                 start_us=4_097_000)
+        runs = {
+            "XORP": run_production(graph, trace, mode="vanilla", seed=1),
+            "DEFINED-RB(OO)": run_production(
+                graph, trace, mode="defined", seed=1, ordering="OO"
+            ),
+            "DEFINED-RB(RO)": run_production(
+                graph, trace, mode="defined", seed=1, ordering="RO"
+            ),
+        }
+        for label, run in runs.items():
+            packets[label].append(mean(run.packets_per_node_per_event))
+            convergence[label].append(mean(run.convergence_times_us) / 1e6)
+        replay = run_ls_replay(graph, runs["DEFINED-RB(OO)"].recording)
+        assert replay.fingerprint == runs["DEFINED-RB(OO)"].fingerprint
+        response["DEFINED-LS"].append(mean(replay.step_times_us) / 1e6)
+
+    print()
+    print(render_series("Figure 8a: control packets per node per event",
+                        "nodes", sizes, packets))
+    print()
+    print(render_series("Figure 8b: convergence time (s)",
+                        "nodes", sizes, convergence))
+    print()
+    print(render_series("Figure 8c: DEFINED-LS step response (s)",
+                        "nodes", sizes, response))
+
+
+if __name__ == "__main__":
+    main()

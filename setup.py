@@ -1,0 +1,15 @@
+"""Legacy shim so `pip install -e .` works without wheel/pep517 tooling."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of DEFINED: Deterministic Execution for Interactive "
+        "Control-Plane Debugging (Lin et al., 2013)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

@@ -1,0 +1,56 @@
+"""repro: a full reproduction of *DEFINED: Deterministic Execution for
+Interactive Control-Plane Debugging* (Lin, Jalaparti, Caesar, Van der
+Merwe, 2013).
+
+Public surface:
+
+* :mod:`repro.simnet` -- deterministic discrete-event network simulator
+  (the testbed substrate);
+* :mod:`repro.core` -- DEFINED itself: the DEFINED-RB production shim
+  (speculative deterministic delivery with rollback) and the DEFINED-LS
+  lockstep debugging coordinator with interactive stepping;
+* :mod:`repro.routing` -- control-plane daemons (OSPF, BGP, RIP),
+  including the two historical bugs the paper's case studies reproduce;
+* :mod:`repro.topology` -- Rocketfuel-style / BRITE-style topologies and
+  Tier-1-like event traces;
+* :mod:`repro.baselines` -- DDOS-style stop-and-wait and comprehensive-
+  logging comparison points;
+* :mod:`repro.harness` -- experiment drivers used by the benchmark suite;
+* :mod:`repro.analysis` -- CDFs, series and report rendering.
+
+Quickstart::
+
+    from repro.harness import run_production, run_ls_replay
+    from repro.topology import rocketfuel_topology
+    from repro.topology.traces import compressed_trace
+
+    graph = rocketfuel_topology("ebone")
+    trace = compressed_trace(graph, n_events=6)
+    prod = run_production(graph, trace, mode="defined", seed=7)
+    replay = run_ls_replay(graph, prod.recording)
+    assert replay.fingerprint == prod.fingerprint   # Theorem 1
+"""
+
+__version__ = "1.0.0"
+
+from repro import analysis, baselines, core, routing, simnet, topology  # noqa: F401
+from repro.harness import (  # noqa: F401
+    ProductionResult,
+    ReplayResult,
+    run_ls_replay,
+    run_production,
+)
+
+__all__ = [
+    "ProductionResult",
+    "ReplayResult",
+    "analysis",
+    "baselines",
+    "core",
+    "harness",
+    "routing",
+    "simnet",
+    "topology",
+    "run_ls_replay",
+    "run_production",
+]

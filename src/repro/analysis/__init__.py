@@ -1,0 +1,19 @@
+"""Measurement post-processing and report rendering for the evaluation."""
+
+from repro.analysis.metrics import (
+    Cdf,
+    mean,
+    median,
+    percentile,
+)
+from repro.analysis.report import ascii_cdf, render_series, render_table
+
+__all__ = [
+    "Cdf",
+    "ascii_cdf",
+    "mean",
+    "median",
+    "percentile",
+    "render_series",
+    "render_table",
+]

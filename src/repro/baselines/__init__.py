@@ -1,0 +1,27 @@
+"""Comparison points from the paper's related work.
+
+* :mod:`repro.baselines.ddos` -- a DDOS-style (ASPLOS'13) *stop-and-wait*
+  deterministic delivery stack: same deterministic order as DEFINED-RB,
+  achieved by blocking instead of speculating.  Used to quantify why the
+  paper chose speculative execution (Section 6, "Deterministic
+  execution").
+* :mod:`repro.baselines.logging_replay` -- the record-everything school
+  (Friday, OFRewind): comprehensive per-node logging for volume
+  comparison, and the *naive partial replay* that motivates the paper --
+  replaying only external events without masking internal nondeterminism
+  fails to reproduce ordering bugs.
+"""
+
+from repro.baselines.ddos import DdosStack
+from repro.baselines.logging_replay import (
+    ComprehensiveLog,
+    LoggingStack,
+    log_volume_comparison,
+)
+
+__all__ = [
+    "ComprehensiveLog",
+    "DdosStack",
+    "LoggingStack",
+    "log_volume_comparison",
+]

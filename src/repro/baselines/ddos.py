@@ -1,0 +1,270 @@
+"""A DDOS-style stop-and-wait deterministic delivery stack.
+
+DDOS (Hunt et al., ASPLOS 2013) achieves deterministic distributed
+execution by *blocking*: when the application asks for the next message,
+the runtime holds the read until it is sure no earlier message (in the
+deterministic order) can still arrive.  No rollbacks, no checkpoints --
+but every delivery waits out the worst-case skew, which is exactly why
+the paper argues blocking "can slow down software that requires constant
+communications, such as control-plane software" and builds DEFINED-RB on
+speculation instead.
+
+This stack delivers events in the *same* deterministic key order as
+:class:`~repro.core.shim.DefinedShim` (group, d_i, n_i, s_i), but releases
+each event only after a conservative hold: one maximum network propagation
+time after arrival.  By then every message that could sort before it has
+arrived, so in-order release is safe and the execution is deterministic
+across seeds -- at the price of per-hop latency, which the ablation bench
+(`benchmarks/test_ablations.py`) quantifies against DEFINED-RB.
+
+Timers and annotations work as in the shim (virtual time from beacons,
+origination/inheritance rules), so daemons run unmodified.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Set, Tuple
+
+from repro.core.history import HistoryEntry
+from repro.core.ordering import OptimizedOrdering, OrderingFunction
+from repro.simnet.events import ExternalEvent
+from repro.simnet.messages import Annotation, Message
+from repro.simnet.node import Node, Stack
+
+
+class DdosStack(Stack):
+    """Stop-and-wait deterministic delivery (no speculation)."""
+
+    def __init__(
+        self,
+        node: Node,
+        ordering: Optional[OrderingFunction] = None,
+        hold_us: Optional[int] = None,
+        chain_bound: int = 64,
+        hop_cost_us: int = 140,
+    ) -> None:
+        super().__init__(node)
+        self.ordering = ordering if ordering is not None else OptimizedOrdering()
+        self._hold_us = hold_us
+        self.chain_bound = chain_bound
+        self.hop_cost_us = hop_cost_us
+        self.vt = 0
+        self._origin_seq = 0
+        self._sub_seq = 0
+        self._ext_seq = 0
+        self._timer_seq = 0
+        self._timers = {}
+        # heap of (key, ready_us, tie, entry)
+        self._pending: List[Tuple[tuple, int, int, HistoryEntry]] = []
+        self._tie = 0
+        self._last_key: Optional[tuple] = None
+        self._current_entry: Optional[HistoryEntry] = None
+        self.late_deliveries = 0
+        self._started = False
+        self._prestart: List[Message] = []
+
+    def hold_us(self) -> int:
+        """Slack after a group's closing beacon before its messages are
+        deemed complete: worst-case propagation plus a chain allowance
+        (a causal chain tagged group *g* can keep extending shortly after
+        beacon *g+1*, until the chain bound reassigns children)."""
+        if self._hold_us is None:
+            self._hold_us = self.node.network.max_propagation_us() + 100_000
+        return self._hold_us
+
+    # ------------------------------------------------------------------
+    # app-facing API (annotation rules identical to the shim)
+    # ------------------------------------------------------------------
+    def send(self, dst, protocol, payload, parent=None, size_bytes=64) -> None:
+        network = self.node.network
+        link_avg = (
+            network.avg_link_delay_us(self.node.node_id, dst) + self.hop_cost_us
+        )
+        if parent is not None and parent.annotation is not None:
+            pa = parent.annotation
+            self._sub_seq += 1
+            # DDOS semantics: every communication step advances virtual
+            # time.  A group-g entry is only *released* once group g has
+            # closed, so its children must belong to the next group --
+            # inheriting the group (as the speculative shim does) would
+            # create messages for an already-closed group.  This is also
+            # precisely why blocking determinism is slow for control
+            # planes: a k-hop causal chain costs k beacon intervals.
+            annotation = pa.extended(
+                link_delay_us=link_avg,
+                sub=self._sub_seq,
+                over_chain_bound=True,
+                sender=self.node.node_id,
+            )
+        else:
+            self._origin_seq += 1
+            group = (
+                self._current_entry.group
+                if self._current_entry is not None
+                else self.vt
+            )
+            annotation = Annotation(
+                origin=self.node.node_id,
+                seq=self._origin_seq,
+                delay_us=link_avg,
+                group=group,
+                sender=self.node.node_id,
+            )
+        network.transmit(
+            Message(
+                src=self.node.node_id,
+                dst=dst,
+                protocol=protocol,
+                payload=payload,
+                annotation=annotation,
+                size_bytes=size_bytes,
+            )
+        )
+
+    def set_timer(self, delay_units: int, key: str) -> None:
+        base = (
+            self._current_entry.group if self._current_entry is not None else self.vt
+        )
+        self._timers[key] = (base + max(1, delay_units), self._timer_seq)
+        self._timer_seq += 1
+
+    def cancel_timer(self, key: str) -> None:
+        self._timers.pop(key, None)
+
+    def time_units(self) -> int:
+        return self.vt
+
+    # ------------------------------------------------------------------
+    # node-facing API
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.vt = 0
+        self._timers = {}
+        self._pending = []
+        self._last_key = None
+        self._beacon_at = {0: 0}
+        if self.daemon is not None:
+            self.daemon.on_start()
+        self._started = True
+        buffered, self._prestart = self._prestart, []
+        for msg in buffered:
+            self.on_wire(msg)
+
+    def on_wire(self, msg: Message) -> None:
+        if not self._started:
+            self._prestart.append(msg)
+            return
+        if msg.protocol == "_beacon":
+            if msg.payload > self.vt:
+                self.vt = msg.payload
+                self._beacon_at[msg.payload] = self.sim.now
+                self._enqueue_due_timers()
+                self._drain()
+            return
+        if msg.is_control:
+            return
+        if msg.annotation is None:
+            raise ValueError("unannotated message reached a DDOS node")
+        entry = HistoryEntry(
+            kind="msg",
+            key=self.ordering.key(msg.annotation),
+            msg=msg,
+            group=msg.annotation.group,
+        )
+        self._push(entry)
+
+    def on_external(self, event: ExternalEvent) -> None:
+        seq = self._ext_seq
+        self._ext_seq += 1
+        entry = HistoryEntry(
+            kind="ext",
+            key=self.ordering.external_key(self.vt, self.node.node_id, seq),
+            event=event,
+            group=self.vt,
+            seq=seq,
+        )
+        self._push(entry)
+
+    # ------------------------------------------------------------------
+    # blocking release machinery
+    # ------------------------------------------------------------------
+    def _enqueue_due_timers(self) -> None:
+        due = sorted(
+            (expiry, seq, key)
+            for key, (expiry, seq) in self._timers.items()
+            if expiry <= self.vt
+        )
+        for expiry, seq, key in due:
+            del self._timers[key]
+            entry = HistoryEntry(
+                kind="timer",
+                key=self.ordering.timer_key(expiry, self.node.node_id, seq),
+                group=expiry,
+                seq=seq,
+                timer_key=key,
+            )
+            self._push(entry)
+
+    def _push(self, entry: HistoryEntry) -> None:
+        heapq.heappush(self._pending, (entry.key, self._tie, entry))
+        self._tie += 1
+        self._drain()
+
+    def _schedule_drain(self, delay_us: int) -> None:
+        self.sim.schedule(delay_us, self._drain, label=f"ddos-drain:{self.node.node_id}")
+
+    def _safe_at(self, entry: HistoryEntry) -> Optional[int]:
+        """Earliest time the head entry may be released.
+
+        A group-*g* message is safe once group *g* has *closed*: the
+        beacon opening *g+1* has been observed and a hold has elapsed, so
+        no group-*g* message (with a possibly smaller key) is in flight.
+        Timers and external events carry the group's smallest keys, so
+        they only need the *previous* group closed.  ``None`` means the
+        closing beacon has not even arrived yet.
+        """
+        close_group = entry.group if entry.kind == "msg" else entry.group - 1
+        if close_group < 0:
+            return 0
+        opened = self._beacon_at.get(close_group + 1)
+        if opened is None:
+            return None
+        return opened + self.hold_us()
+
+    def _drain(self) -> None:
+        """Release, in key order, every head entry whose group has closed."""
+        while self._pending:
+            key, _tie, entry = self._pending[0]
+            safe_at = self._safe_at(entry)
+            if safe_at is None:
+                return  # wait for the closing beacon; _drain reruns then
+            if safe_at > self.sim.now:
+                # nothing behind the head may jump the queue: that wait
+                # is the stop-and-wait cost the ablation measures
+                self._schedule_drain(safe_at - self.sim.now)
+                return
+            heapq.heappop(self._pending)
+            if self._last_key is not None and key <= self._last_key:
+                # the hold was not conservative enough for this arrival;
+                # deliver anyway (dropping would break the protocol) and
+                # count the ordering miss -- experiments assert zero
+                self.late_deliveries += 1
+            else:
+                self._last_key = key
+            self._deliver(entry)
+
+    def _deliver(self, entry: HistoryEntry) -> None:
+        self.log_delivery(entry.tag())
+        self.node.stats.deliveries += 1
+        self._current_entry = entry
+        try:
+            if self.daemon is not None:
+                if entry.kind == "msg":
+                    self.daemon.on_message(entry.msg)
+                elif entry.kind == "ext":
+                    self.daemon.on_external(entry.event)
+                else:
+                    self.daemon.on_timer(entry.timer_key)
+        finally:
+            self._current_entry = None

@@ -1,0 +1,86 @@
+"""The record-everything school (Friday / OFRewind) as a baseline.
+
+The paper's motivation (Section 1): comprehensive recording gives
+system-wide reproducibility, but logging *every* event at *every* node is
+infeasible at production scale, so operators fall back to partial
+recordings -- which then cannot reproduce nondeterministic bugs.
+
+Two artifacts quantify that motivation here:
+
+* :class:`LoggingStack` -- an uninstrumented stack that additionally
+  writes a comprehensive log (every delivery, timer fire and external
+  event, with payloads and timestamps).  Its byte count, compared to the
+  DEFINED partial recording of the same run, is the log-volume ablation.
+* naive partial replay -- re-running the external schedule on a fresh
+  vanilla network.  Without DEFINED's internal determinism, the replay's
+  internal orderings are fresh random draws, so order-dependent outcomes
+  (the XORP MED bug) reproduce only by luck.  The case-study benches
+  demonstrate this directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.simnet.events import ExternalEvent
+from repro.simnet.messages import Message
+from repro.simnet.node import Node, VanillaStack
+
+#: Fixed per-record framing overhead (timestamp, node id, type tag) --
+#: roughly what a binary log format like OFRewind's datapath records pays.
+RECORD_OVERHEAD_BYTES = 24
+
+
+@dataclass
+class ComprehensiveLog:
+    """An everything-log for one run (all nodes pooled)."""
+
+    records: int = 0
+    bytes: int = 0
+    per_node_bytes: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, node: str, size_bytes: int) -> None:
+        self.records += 1
+        total = RECORD_OVERHEAD_BYTES + size_bytes
+        self.bytes += total
+        self.per_node_bytes[node] = self.per_node_bytes.get(node, 0) + total
+
+
+class LoggingStack(VanillaStack):
+    """Vanilla stack + comprehensive recording of every internal event."""
+
+    def __init__(self, node: Node, log: ComprehensiveLog, **kwargs) -> None:
+        super().__init__(node, **kwargs)
+        self.comprehensive_log = log
+
+    def on_wire(self, msg: Message) -> None:
+        if not msg.is_control:
+            self.comprehensive_log.add(self.node.node_id, msg.size_bytes)
+        super().on_wire(msg)
+
+    def on_external(self, event: ExternalEvent) -> None:
+        self.comprehensive_log.add(
+            self.node.node_id, 16 + len(repr(event.target)) + len(repr(event.data))
+        )
+        super().on_external(event)
+
+    def _fire_timer(self, key: str) -> None:
+        self.comprehensive_log.add(self.node.node_id, 8 + len(key))
+        super()._fire_timer(key)
+
+
+def log_volume_comparison(
+    comprehensive: ComprehensiveLog, partial_bytes: int
+) -> List[Tuple[str, float]]:
+    """Rows for the log-volume ablation table.
+
+    Returns (label, bytes) pairs plus the reduction factor, ready for the
+    report renderer.
+    """
+    ratio = comprehensive.bytes / max(1, partial_bytes)
+    return [
+        ("comprehensive (Friday/OFRewind-style)", float(comprehensive.bytes)),
+        ("partial (DEFINED external events only)", float(partial_bytes)),
+        ("reduction factor", ratio),
+    ]

@@ -1,0 +1,244 @@
+"""Command-line interface: run productions, replay recordings, debug.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli production --topology ebone --events 6 \
+        --mode defined --seed 1 --recording-out /tmp/run.recording.json
+    python -m repro.cli replay --topology ebone \
+        --recording /tmp/run.recording.json
+    python -m repro.cli sweep --sizes 20,40 --events 4
+    python -m repro.cli casestudy bgp
+    python -m repro.cli casestudy rip
+
+The CLI covers the common operational loops (record in production, ship
+the recording, replay and step at the debugging site); programmatic use
+goes through :mod:`repro.harness`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.metrics import Cdf, mean
+from repro.analysis.report import ascii_cdf, render_series, render_table
+from repro.core.recorder import Recording
+from repro.harness import run_ls_replay, run_production
+from repro.simnet.engine import SECOND
+from repro.topology import (
+    TopologyGraph,
+    barabasi_albert,
+    rocketfuel_topology,
+    waxman,
+)
+from repro.topology.rocketfuel import POP_COUNTS
+from repro.topology.traces import compressed_trace
+
+
+def load_topology(name: str, size: int, seed: int) -> TopologyGraph:
+    if name in POP_COUNTS:
+        return rocketfuel_topology(name)
+    if name == "waxman":
+        return waxman(size, seed=seed)
+    if name == "ba":
+        return barabasi_albert(size, seed=seed)
+    raise SystemExit(
+        f"unknown topology {name!r}: expected one of "
+        f"{sorted(POP_COUNTS) + ['waxman', 'ba']}"
+    )
+
+
+def cmd_production(args: argparse.Namespace) -> int:
+    graph = load_topology(args.topology, args.size, args.topology_seed)
+    trace = compressed_trace(
+        graph, n_events=args.events, gap_us=args.gap_s * SECOND,
+        start_us=4_097_000, seed=args.seed,
+    )
+    print(f"topology {graph.name}: {graph.node_count()} nodes, "
+          f"{graph.edge_count()} links; {len(trace)} external events")
+    result = run_production(
+        graph, trace, mode=args.mode, seed=args.seed,
+        ordering=args.ordering, strategy=args.strategy,
+    )
+    rows = [
+        ["fingerprint", result.fingerprint[:24] + "..."],
+        ["events converged", len(result.convergence_times_us)],
+        ["mean convergence (s)", mean(result.convergence_times_us) / 1e6],
+        ["rollbacks", result.rollbacks],
+        ["late deliveries", result.late_deliveries],
+        ["wall time (s)", result.wall_seconds],
+    ]
+    if result.recording is not None:
+        rows.append(["recording bytes", result.recording.size_bytes()])
+    print(render_table(f"production run ({args.mode})", ["metric", "value"], rows))
+    if result.packets_per_node_per_event:
+        print()
+        print(ascii_cdf(
+            "control packets per node per event",
+            {args.mode: Cdf.of(result.packets_per_node_per_event)},
+            unit="pkts",
+        ))
+    if args.recording_out:
+        if result.recording is None:
+            raise SystemExit("only --mode defined produces a recording")
+        result.recording.save(args.recording_out)
+        print(f"\nrecording written to {args.recording_out}")
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    # the debugging network must model the same topology the production
+    # network had (the recording's drop set and estimates refer to it)
+    graph = load_topology(args.topology, args.size, args.topology_seed)
+    recording = Recording.load(args.recording)
+    print(f"replaying {len(recording.events)} recorded events "
+          f"({recording.horizon_group + 1} groups) on {graph.name}")
+    result = run_ls_replay(graph, recording, seed=args.seed)
+    print(render_table(
+        "lockstep replay",
+        ["metric", "value"],
+        [
+            ["fingerprint", result.fingerprint[:24] + "..."],
+            ["lockstep cycles", result.cycles],
+            ["mean step response (s)", mean(result.step_times_us) / 1e6],
+            ["max step response (s)", max(result.step_times_us) / 1e6],
+            ["wall time (s)", result.wall_seconds],
+        ],
+    ))
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    sizes = [int(s) for s in args.sizes.split(",")]
+    packets = {"XORP": [], "DEFINED-RB(OO)": []}
+    convergence = {"XORP": [], "DEFINED-RB(OO)": []}
+    for n in sizes:
+        graph = waxman(n, seed=args.seed)
+        trace = compressed_trace(graph, n_events=args.events,
+                                 gap_us=8 * SECOND, start_us=4_097_000)
+        for label, mode in (("XORP", "vanilla"), ("DEFINED-RB(OO)", "defined")):
+            run = run_production(graph, trace, mode=mode, seed=args.seed)
+            packets[label].append(mean(run.packets_per_node_per_event))
+            convergence[label].append(mean(run.convergence_times_us) / 1e6)
+        print(f"  size {n} done")
+    print(render_series("control packets per node per event", "nodes", sizes, packets))
+    print()
+    print(render_series("convergence time (s)", "nodes", sizes, convergence))
+    return 0
+
+
+def cmd_debug(args: argparse.Namespace) -> int:
+    from repro.core.debugger import Debugger
+    from repro.core.lockstep import LockstepCoordinator
+    from repro.core.ordering import make_ordering
+    from repro.harness import ospf_daemon_factory
+    from repro.repl import DebugConsole
+    from repro.topology import to_network
+
+    graph = load_topology(args.topology, args.size, args.topology_seed)
+    recording = Recording.load(args.recording)
+    net = to_network(graph, seed=args.seed)
+    coordinator = LockstepCoordinator(net, recording, ordering=make_ordering("OO"))
+    coordinator.attach(ospf_daemon_factory(graph))
+    coordinator.start()
+    DebugConsole(Debugger(coordinator)).loop()
+    return 0
+
+
+def cmd_casestudy(args: argparse.Namespace) -> int:
+    if args.which == "bgp":
+        from repro.scenarios import xorp_bgp_scenario
+
+        outcomes = {
+            seed: xorp_bgp_scenario(mode="vanilla", decision="buggy",
+                                    seed=seed).best_at_r3
+            for seed in range(8)
+        }
+        deterministic = xorp_bgp_scenario(mode="defined", decision="buggy", seed=1)
+        print(render_table(
+            "XORP 0.4 BGP MED ordering bug",
+            ["run", "best path at R3"],
+            [[f"vanilla seed {s}", best] for s, best in outcomes.items()]
+            + [["DEFINED (any seed)", deterministic.best_at_r3]],
+        ))
+    else:
+        from repro.scenarios import quagga_rip_scenario
+
+        outcomes = {
+            seed: quagga_rip_scenario(mode="vanilla", matching="buggy",
+                                      config="race", seed=seed).route_via
+            for seed in range(8)
+        }
+        deterministic = quagga_rip_scenario(
+            mode="defined", matching="buggy", config="blackhole", seed=1
+        )
+        print(render_table(
+            "Quagga 0.96.5 RIP timer-refresh bug",
+            ["run", "route to dst at R1"],
+            [[f"vanilla seed {s}", str(via)] for s, via in outcomes.items()]
+            + [["DEFINED blackhole config", str(deterministic.route_via)]],
+        ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DEFINED reproduction command line"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    prod = sub.add_parser("production", help="run a production network")
+    prod.add_argument("--topology", default="ebone")
+    prod.add_argument("--size", type=int, default=30,
+                      help="node count for waxman/ba topologies")
+    prod.add_argument("--topology-seed", type=int, default=1,
+                      help="generator seed for waxman/ba topologies")
+    prod.add_argument("--events", type=int, default=6)
+    prod.add_argument("--gap-s", type=int, default=8)
+    prod.add_argument("--mode", default="defined",
+                      choices=["vanilla", "defined", "ddos", "logging"])
+    prod.add_argument("--ordering", default="OO", choices=["OO", "RO"])
+    prod.add_argument("--strategy", default="MI",
+                      choices=["MI", "FK", "TF", "PF", "TM"])
+    prod.add_argument("--seed", type=int, default=1)
+    prod.add_argument("--recording-out", default=None)
+    prod.set_defaults(func=cmd_production)
+
+    replay = sub.add_parser("replay", help="replay a recording in lockstep")
+    replay.add_argument("--topology", default="ebone")
+    replay.add_argument("--size", type=int, default=30)
+    replay.add_argument("--topology-seed", type=int, default=1,
+                        help="must match the production run's topology")
+    replay.add_argument("--recording", required=True)
+    replay.add_argument("--seed", type=int, default=1000)
+    replay.set_defaults(func=cmd_replay)
+
+    sweep = sub.add_parser("sweep", help="size scalability sweep (Fig 8)")
+    sweep.add_argument("--sizes", default="20,40")
+    sweep.add_argument("--events", type=int, default=4)
+    sweep.add_argument("--seed", type=int, default=1)
+    sweep.set_defaults(func=cmd_sweep)
+
+    case = sub.add_parser("casestudy", help="run a paper case study")
+    case.add_argument("which", choices=["bgp", "rip"])
+    case.set_defaults(func=cmd_casestudy)
+
+    debug = sub.add_parser("debug", help="interactive debugger over a recording")
+    debug.add_argument("--topology", default="ebone")
+    debug.add_argument("--size", type=int, default=30)
+    debug.add_argument("--topology-seed", type=int, default=1,
+                       help="must match the production run's topology")
+    debug.add_argument("--recording", required=True)
+    debug.add_argument("--seed", type=int, default=1000)
+    debug.set_defaults(func=cmd_debug)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,171 @@
+"""Delivered-event history: the sliding window of Section 2.2.
+
+Each DEFINED-RB node keeps the events it has delivered to its daemon since
+(roughly) the last couple of group intervals, *in delivered order* -- which
+the rollback machinery keeps equal to ordering-function order at all
+times.  Every entry carries the checkpoint taken just before it was
+delivered and the uids of the messages its processing emitted, which is
+exactly what a rollback needs: restore the checkpoint, unsend the outputs,
+replay the inputs.
+
+Entries become prunable once no message that could sort before them can
+still arrive; the paper bounds this by twice the maximum propagation time
+across the network (plus slack for jitter; see footnote 3).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.checkpoint import Checkpoint
+from repro.core.ordering import OrderKey
+from repro.simnet.events import ExternalEvent
+from repro.simnet.messages import Message
+
+
+@dataclass
+class HistoryEntry:
+    """One event delivered (or to be delivered) to the daemon.
+
+    ``kind`` is ``"msg"`` (a data message), ``"ext"`` (an external event
+    observed locally) or ``"timer"`` (a virtual-time timer firing).
+    """
+
+    kind: str
+    key: OrderKey
+    msg: Optional[Message] = None
+    event: Optional[ExternalEvent] = None
+    group: int = 0
+    seq: int = 0
+    timer_key: Optional[str] = None
+    #: For "ext" entries: how far into the group the event was observed.
+    #: Originations triggered by the event start their d_i estimates from
+    #: this offset, so that a mid-group event's flood is predicted to
+    #: arrive *after* the group's beacon-aligned traffic (which it does).
+    origin_offset_us: int = 0
+    checkpoint: Optional[Checkpoint] = None
+    outputs: List[Tuple[int, str]] = field(default_factory=list)
+    delivered_at_us: int = -1
+    log_index: int = -1
+
+    def tag(self) -> str:
+        """Stable identity tag for the delivery log / fingerprint.
+
+        Contains no timestamps, uids or other run-varying data -- only the
+        deterministic identity of the event -- so DEFINED-RB runs under
+        different seeds and DEFINED-LS replays produce comparable logs.
+        """
+        if self.kind == "msg":
+            assert self.msg is not None and self.msg.annotation is not None
+            a = self.msg.annotation
+            return (
+                f"m|{self.msg.protocol}|{self.msg.src}|{a.origin}|{a.seq}|"
+                f"{a.sub}|{a.group}|{a.delay_us}|{self.msg.payload!r}"
+            )
+        if self.kind == "ext":
+            assert self.event is not None
+            e = self.event
+            return f"e|{e.kind}|{e.target!r}|{self.group}|{self.seq}"
+        return f"t|{self.timer_key}|{self.group}"
+
+    def reset_for_replay(self) -> None:
+        """Strip per-delivery state so the entry can be delivered again."""
+        self.checkpoint = None
+        self.outputs = []
+        self.delivered_at_us = -1
+        self.log_index = -1
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<HistoryEntry {self.kind} key={self.key}>"
+
+
+class DeliveredHistory:
+    """Sorted, prunable sequence of delivered :class:`HistoryEntry`.
+
+    Invariant: ``entries`` is strictly increasing by ``key``.  Appends
+    assert this; out-of-order admissions must go through rollback, which
+    truncates and re-appends in sorted order.
+    """
+
+    def __init__(self) -> None:
+        self.entries: List[HistoryEntry] = []
+        self._keys: List[OrderKey] = []
+        #: Largest key ever pruned; a later arrival sorting below this is
+        #: a "late message" the window could not protect (counted, not
+        #: crashed on -- see shim docs).
+        self.last_pruned_key: Optional[OrderKey] = None
+        self.total_pruned = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __getitem__(self, i: int) -> HistoryEntry:
+        return self.entries[i]
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def insertion_index(self, key: OrderKey) -> int:
+        """Where ``key`` would slot into the current window.
+
+        ``len(self)`` means "after everything delivered" (in-order, safe
+        to deliver speculatively); anything smaller means a rollback to
+        that index is required.
+        """
+        i = bisect.bisect_left(self._keys, key)
+        if i < len(self._keys) and self._keys[i] == key:
+            raise ValueError(f"duplicate ordering key {key}")
+        return i
+
+    def find_exact(self, key: OrderKey) -> Optional[int]:
+        """Index of the entry with exactly ``key``, or None.
+
+        Used for the anti-message race: a post-rollback re-send can reach
+        a receiver *before* the unsend for the original copy; it carries
+        the same deterministic key and must *replace* the original.
+        """
+        i = bisect.bisect_left(self._keys, key)
+        if i < len(self._keys) and self._keys[i] == key:
+            return i
+        return None
+
+    def append(self, entry: HistoryEntry) -> None:
+        if self._keys and entry.key <= self._keys[-1]:
+            raise ValueError(
+                f"history append out of order: {entry.key} after {self._keys[-1]}"
+            )
+        self.entries.append(entry)
+        self._keys.append(entry.key)
+
+    def truncate_from(self, index: int) -> List[HistoryEntry]:
+        """Remove and return ``entries[index:]`` (the rollback victims)."""
+        rolled = self.entries[index:]
+        del self.entries[index:]
+        del self._keys[index:]
+        return rolled
+
+    def prune_before_time(self, cutoff_us: int, keep_min: int = 1) -> int:
+        """Drop leading entries delivered before ``cutoff_us``.
+
+        At least ``keep_min`` entries are retained so a freshly-quiet node
+        still has a rollback anchor.  Returns the number pruned.
+        """
+        limit = len(self.entries) - keep_min
+        n = 0
+        while n < limit and self.entries[n].delivered_at_us < cutoff_us:
+            n += 1
+        if n > 0:
+            self.last_pruned_key = self._keys[n - 1]
+            del self.entries[:n]
+            del self._keys[:n]
+            self.total_pruned += n
+        return n
+
+    def is_late(self, key: OrderKey) -> bool:
+        """True when ``key`` sorts below something already pruned."""
+        return self.last_pruned_key is not None and key < self.last_pruned_key
+
+    def keys(self) -> Tuple[OrderKey, ...]:
+        return tuple(self._keys)

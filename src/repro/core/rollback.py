@@ -1,0 +1,99 @@
+"""Rollback planning: the pure logic under DEFINED-RB's rollback engine.
+
+Separated from the shim so the invariants can be property-tested in
+isolation: divergence detection (where must we roll back to?), anti-message
+collection (what must we unsend, to whom?), and replay planning (which
+inputs are re-delivered, in what order?).
+
+The shim (:mod:`repro.core.shim`) owns the stateful parts -- restoring
+checkpoints, transmitting unsends, and re-driving the daemon.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.core.history import HistoryEntry
+from repro.core.ordering import OrderKey
+
+
+def find_rollback_index(keys: Sequence[OrderKey], new_key: OrderKey) -> int:
+    """Index of the first delivered entry that must be rolled back.
+
+    ``keys`` is the delivered window in (sorted) delivery order.  If the
+    new key sorts after everything delivered, the speculation holds and
+    ``len(keys)`` is returned (nothing to roll back).  Otherwise the node
+    must roll back to the point just before the first entry ordered after
+    the new arrival -- the paper's Figure 2 example.
+    """
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if keys[mid] < new_key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def collect_unsends(rolled: Iterable[HistoryEntry]) -> Dict[str, List[int]]:
+    """Anti-message plan: per-neighbor lists of message uids to unsend.
+
+    Every message emitted while processing a rolled-back entry is invalid
+    (it was produced from state that no longer exists) and must be rolled
+    back at its receiver -- the cascading process of Figure 3.
+    """
+    plan: Dict[str, List[int]] = {}
+    for entry in rolled:
+        for uid, dst in entry.outputs:
+            plan.setdefault(dst, []).append(uid)
+    for uids in plan.values():
+        uids.sort()
+    return plan
+
+
+def plan_replay(
+    rolled: Sequence[HistoryEntry],
+    new_entries: Sequence[HistoryEntry],
+    removed_uids: Set[int],
+) -> List[HistoryEntry]:
+    """Inputs to re-deliver after a rollback, in ordering-function order.
+
+    * rolled-back *messages* are replayed unless an anti-message removed
+      them (``removed_uids``);
+    * rolled-back *external events* are always replayed (the world
+      happened; only our processing of it is being redone);
+    * rolled-back *timer* firings are NOT replay inputs -- restoring the
+      checkpoint re-arms the timer table, and the shim's replay loop
+      re-fires due timers interleaved by their keys;
+    * ``new_entries`` (the out-of-order arrival that triggered the
+      rollback, if it was a message or external event) are merged in.
+
+    Entries are reset (checkpoints/outputs cleared) and returned sorted.
+    """
+    inputs: List[HistoryEntry] = []
+    for entry in rolled:
+        if entry.kind == "timer":
+            continue
+        if entry.kind == "msg" and entry.msg is not None and entry.msg.uid in removed_uids:
+            continue
+        inputs.append(entry)
+    inputs.extend(new_entries)
+    for entry in inputs:
+        entry.reset_for_replay()
+    inputs.sort(key=lambda e: e.key)
+    for earlier, later in zip(inputs, inputs[1:]):
+        if earlier.key == later.key:
+            raise ValueError(f"replay plan contains duplicate key {earlier.key}")
+    return inputs
+
+
+def affected_indices(
+    entries: Sequence[HistoryEntry], uids: Set[int]
+) -> Tuple[int, ...]:
+    """Indices of delivered entries whose message uid is being unsent."""
+    return tuple(
+        i
+        for i, entry in enumerate(entries)
+        if entry.kind == "msg" and entry.msg is not None and entry.msg.uid in uids
+    )

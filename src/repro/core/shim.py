@@ -1,0 +1,596 @@
+"""DEFINED-RB: the per-node user-space shim (Sections 2.2 and 3).
+
+The shim interposes between the control-plane daemon and the network,
+wrapping message sending, message receiving, and timer calls.  It makes
+the node's execution deterministic with an *optimistic* protocol:
+
+1. every arrival is delivered to the daemon immediately (speculation),
+   after taking a checkpoint;
+2. every arrival is also checked against the deterministic ordering
+   function over the sliding history window;
+3. if the arrival should have been delivered *earlier* than something
+   already delivered, the node rolls back: restore the checkpoint from
+   the divergence point, "unsend" the messages emitted since (anti-
+   messages, which cascade at the receivers), and replay the inputs in
+   the correct order.
+
+Timers are virtualized: the daemon's timers live in a checkpointed
+:class:`~repro.core.virtual_time.TimerTable` keyed to beacon-driven
+virtual time, and timer firings flow through the same ordering/rollback
+machinery as messages (they occupy ``major=-1`` slots in each group, i.e.
+a group's timers are ordered before the group's messages).
+
+The shim also implements the partial-recording hooks: external events are
+tagged (group, origin-sequence) and logged, and sends that the physical
+network cannot deliver (down link / dead peer) are logged as *drops* so
+the lockstep replay, which runs over reliable transport, suppresses them.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from typing import Optional, Set
+
+from repro.core.checkpoint import (
+    Checkpoint,
+    CheckpointStrategy,
+    MemoryIntercept,
+    baseline_processing_model,
+)
+from repro.core.history import DeliveredHistory, HistoryEntry
+from repro.core.ordering import OptimizedOrdering, OrderingFunction
+from repro.core.recorder import Recorder
+from repro.core.rollback import collect_unsends, find_rollback_index, plan_replay
+from repro.core.virtual_time import TimerTable
+from repro.simnet.events import ExternalEvent
+from repro.simnet.messages import Annotation, Message, Unsend
+from repro.simnet.node import Node, Stack
+
+#: Default bound on causal chain length within one group (Section 2.2:
+#: "We further bound the length of each causal chain within a timestep").
+DEFAULT_CHAIN_BOUND = 64
+
+
+class DefinedShim(Stack):
+    """DEFINED-RB stack for one production-network node."""
+
+    def __init__(
+        self,
+        node: Node,
+        ordering: Optional[OrderingFunction] = None,
+        strategy: Optional[CheckpointStrategy] = None,
+        recorder: Optional[Recorder] = None,
+        chain_bound: int = DEFAULT_CHAIN_BOUND,
+        window_us: Optional[int] = None,
+        process_bytes: int = 100 * 1024 * 1024,
+        hop_cost_us: Optional[int] = None,
+    ) -> None:
+        super().__init__(node)
+        self.ordering = ordering if ordering is not None else OptimizedOrdering()
+        self.strategy = strategy if strategy is not None else MemoryIntercept()
+        self.recorder = recorder
+        self.chain_bound = chain_bound
+        self.process_bytes = process_bytes
+        self._window_us_override = window_us
+        #: Deterministic per-hop estimate folded into d_i on top of the
+        #: measured average link delay.  The paper measures link delays
+        #: store-and-forward, which includes the receiver's processing
+        #: time; omitting it would make long causal chains systematically
+        #: later than their estimates and turn every flood into rollbacks.
+        if hop_cost_us is None:
+            hop_cost_us = int(80 + self.strategy.delivery_mu)
+        self.hop_cost_us = hop_cost_us
+
+        self.vt = 0
+        self.history = DeliveredHistory()
+        self.timers = TimerTable()
+        self._origin_seq = 0
+        self._sub_seq = 0
+        self._ext_seq = 0
+        self._annihilate_pending: Set[int] = set()
+        #: Messages tagged with a group our beacon has not opened yet.
+        #: Delivering them speculatively would be *guaranteed* wrong
+        #: whenever that group has due timers (their keys sort first), so
+        #: they wait -- at most one beacon-propagation skew -- and drain in
+        #: arrival order when the beacon lands.  This is what keeps the
+        #: optimized ordering's rollback count at the paper's "rare" level.
+        self._future_buffer: list = []
+        self._current_entry: Optional[HistoryEntry] = None
+        self._send_delay_us = 0
+        self._replaying = False
+        self._group_open_us = 0
+        self._started = False
+        #: Arrivals before the daemon booted (staggered cold start): a
+        #: real router's NIC would drop these, but a drop at the receiver
+        #: is invisible to the sender's recording, so we hold them for the
+        #: (sub-beacon-interval) boot window instead.
+        self._prestart_buffer: list = []
+        self._window_us: Optional[int] = None
+        self._cost_rng: Optional[random.Random] = None
+        #: Arrivals that sorted below an already-pruned entry; determinism
+        #: cannot be guaranteed for them (window mis-sized).  Counted so
+        #: experiments can assert it stayed at zero.
+        self.late_deliveries = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Boot (or reboot, after a node_up event) the shim and daemon."""
+        self.vt = 0
+        self.history = DeliveredHistory()
+        self.timers = TimerTable()
+        self._origin_seq = 0
+        self._sub_seq = 0
+        self._annihilate_pending.clear()
+        self._future_buffer = []
+        self._current_entry = None
+        self._send_delay_us = 0
+        self._replaying = False
+        if self.daemon is not None:
+            self.daemon.on_start()
+        self._started = True
+        buffered, self._prestart_buffer = self._prestart_buffer, []
+        for msg in buffered:
+            self.on_wire(msg)
+
+    # ------------------------------------------------------------------
+    # app-facing API
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        dst: str,
+        protocol: str,
+        payload,
+        parent: Optional[Message] = None,
+        size_bytes: int = 64,
+    ) -> None:
+        network = self.node.network
+        link = network.link_between(self.node.node_id, dst)
+        if link is None:
+            raise ValueError(f"{self.node.node_id} has no link to {dst}")
+        hop_estimate = link.avg_delay_us(self.node.node_id) + self.hop_cost_us
+
+        if parent is not None and parent.annotation is not None:
+            pa = parent.annotation
+            self._sub_seq += 1
+            annotation = pa.extended(
+                link_delay_us=hop_estimate,
+                sub=self._sub_seq,
+                over_chain_bound=pa.chain + 1 > self.chain_bound,
+                sender=self.node.node_id,
+            )
+        else:
+            self._origin_seq += 1
+            offset = (
+                self._current_entry.origin_offset_us
+                if self._current_entry is not None
+                else 0
+            )
+            annotation = Annotation(
+                origin=self.node.node_id,
+                seq=self._origin_seq,
+                delay_us=offset + hop_estimate,
+                group=self._origination_group(),
+                chain=0,
+                sub=0,
+                sender=self.node.node_id,
+            )
+
+        msg = Message(
+            src=self.node.node_id,
+            dst=dst,
+            protocol=protocol,
+            payload=payload,
+            annotation=annotation,
+            size_bytes=size_bytes,
+        )
+
+        deliverable = link.up and self.node.up and network.nodes[dst].up
+        if not deliverable and self.recorder is not None:
+            self.recorder.record_drop(
+                (annotation.sender, annotation.origin, annotation.seq,
+                 annotation.sub, annotation.group, dst, protocol)
+            )
+        network.transmit(msg, extra_delay_us=self._send_delay_us)
+        if deliverable and self._current_entry is not None:
+            self._current_entry.outputs.append((msg.uid, dst))
+
+    def set_timer(self, delay_units: int, key: str) -> None:
+        self.timers.set(key, self._timer_base_vt(), delay_units)
+
+    def cancel_timer(self, key: str) -> None:
+        self.timers.cancel(key)
+
+    def _timer_base_vt(self) -> int:
+        """Virtual-time base for arming timers.
+
+        Timers armed while processing an event are based on that event's
+        *group*, not on the beacon count at the instant the processing
+        physically ran.  A group-g message can be delivered after beacon
+        g+1 (late crossing, or during a rollback replay); basing its
+        timers on the live beacon count would make expiries depend on
+        wall-clock accidents and break determinism.
+        """
+        if self._current_entry is not None:
+            return self._current_entry.group
+        return self.vt
+
+    def time_units(self) -> int:
+        return self.vt
+
+    def _origination_group(self) -> int:
+        """Group number for a message with no causal parent.
+
+        Messages triggered while processing an external event or a timer
+        inherit that entry's group (they are part of its timestep);
+        anything else (boot traffic) uses the current virtual time.
+        """
+        if self._current_entry is not None:
+            return self._current_entry.group
+        return self.vt
+
+    # ------------------------------------------------------------------
+    # node-facing API
+    # ------------------------------------------------------------------
+    def on_wire(self, msg: Message) -> None:
+        if not self._started:
+            self._prestart_buffer.append(msg)
+            return
+        if msg.protocol == "_beacon":
+            self._on_beacon(msg.payload)
+        elif msg.protocol == "_unsend":
+            self._on_unsend(msg)
+        elif msg.is_control:
+            pass  # other control traffic is not for RB nodes
+        else:
+            self._on_data(msg)
+
+    def on_external(self, event: ExternalEvent) -> None:
+        group = self.vt
+        seq = self._ext_seq
+        self._ext_seq += 1
+        # How far into the group the event landed.  Messages originated by
+        # its processing start their d_i estimates from this offset: the
+        # ordering function's arrival prediction assumes group-start
+        # origins, and a mid-group event's flood genuinely arrives later
+        # than the group's beacon-aligned traffic.  Deterministic (event
+        # times and beacon arrivals are), and recorded for the replay.
+        offset = max(0, self.sim.now - self._group_open_us)
+        if self.recorder is not None:
+            self.recorder.record_event(
+                self.node.node_id, event, group, seq, self.sim.now,
+                offset_us=offset,
+            )
+        entry = HistoryEntry(
+            kind="ext",
+            key=self.ordering.external_key(group, self.node.node_id, seq),
+            event=event,
+            group=group,
+            seq=seq,
+            origin_offset_us=offset,
+        )
+        self._admit(entry)
+
+    # ------------------------------------------------------------------
+    # beacons, timers, groups
+    # ------------------------------------------------------------------
+    def _on_beacon(self, group: int) -> None:
+        if group <= self.vt:
+            return
+        self.vt = group
+        self._group_open_us = self.sim.now
+        self._fire_due_timers()
+        self._drain_future()
+        self._prune_window()
+        self._sample_memory()
+
+    def _drain_future(self) -> None:
+        """Admit held messages whose group the beacon just opened, in their
+        original arrival order (speculation resumes among them)."""
+        ready = [m for m in self._future_buffer if m.annotation.group <= self.vt]
+        if not ready:
+            return
+        self._future_buffer = [
+            m for m in self._future_buffer if m.annotation.group > self.vt
+        ]
+        for msg in ready:
+            self._admit_data(msg)
+
+    def _fire_due_timers(self) -> None:
+        while True:
+            due = self.timers.next_due(self.vt)
+            if due is None:
+                return
+            expiry, seq, timer_key = due
+            entry = HistoryEntry(
+                kind="timer",
+                key=self.ordering.timer_key(expiry, self.node.node_id, seq),
+                group=expiry,
+                seq=seq,
+                timer_key=timer_key,
+            )
+            self._admit(entry)
+
+    # ------------------------------------------------------------------
+    # admission: speculation + ordering check
+    # ------------------------------------------------------------------
+    def _on_data(self, msg: Message) -> None:
+        if msg.uid in self._annihilate_pending:
+            # an anti-message beat the message here; drop it on arrival
+            self._annihilate_pending.discard(msg.uid)
+            self.node.stats.annihilated += 1
+            return
+        if msg.annotation is None:
+            raise ValueError(
+                f"unannotated message {msg.describe()} reached a DEFINED-RB node"
+            )
+        if msg.annotation.group > self.vt:
+            self._future_buffer.append(msg)
+            return
+        self._admit_data(msg)
+
+    def _admit_data(self, msg: Message) -> None:
+        if msg.uid in self._annihilate_pending:
+            self._annihilate_pending.discard(msg.uid)
+            self.node.stats.annihilated += 1
+            return
+        entry = HistoryEntry(
+            kind="msg",
+            key=self.ordering.key(msg.annotation),
+            msg=msg,
+            group=msg.annotation.group,
+        )
+        existing = self.history.find_exact(entry.key)
+        if existing is not None:
+            # Anti-message race: the upstream node rolled back and re-sent
+            # this logical message, and the copies arrived out of send
+            # order relative to the unsend.  Uids are globally increasing,
+            # so the higher uid is the live version: replace a stale
+            # delivery, or drop a stale arrival.
+            held = self.history[existing]
+            assert held.kind == "msg" and held.msg is not None
+            if msg.uid > held.msg.uid:
+                self._rollback(existing, [entry], removed_uids={held.msg.uid})
+            else:
+                # stale original outrun by its replacement: drop it here;
+                # its unsend (still in flight) will find nothing to do
+                self.node.stats.annihilated += 1
+            return
+        self._admit(entry)
+
+    def _admit(self, entry: HistoryEntry) -> None:
+        if self.history.is_late(entry.key):
+            # The window failed to cover this arrival; determinism is no
+            # longer guaranteed for it.  Count it, and hand it straight to
+            # the daemon outside the ordered window (crashing a production
+            # router would be worse).  Experiments assert this stayed at 0.
+            self.late_deliveries += 1
+            self._deliver_unordered(entry)
+            return
+        index = self.history.insertion_index(entry.key)
+        if index == len(self.history):
+            self._speculative_deliver(entry)
+        else:
+            new_inputs = [entry] if entry.kind != "timer" else []
+            self._rollback(index, new_inputs, removed_uids=set())
+
+    def _speculative_deliver(self, entry: HistoryEntry) -> None:
+        rng = self._costs()
+        checkpoint_cost = self.strategy.delivery_cost_us(rng)
+        processing_cost = baseline_processing_model(rng)
+        stats = self.node.stats
+        stats.checkpoint_cost_us += checkpoint_cost
+        stats.record_processing(checkpoint_cost + processing_cost)
+        # Outputs leave after the *nominal* processing latency, which is
+        # exactly the per-hop term folded into d_i.  Charging the sampled
+        # cost instead would add hop-accumulated variance that the delay
+        # estimates cannot see, turning flood waves into rollback storms.
+        # The sampled distribution still feeds the Figure 7b statistics.
+        self._deliver(entry, self._take_checkpoint(), extra_delay_us=self.hop_cost_us)
+
+    def _deliver_unordered(self, entry: HistoryEntry) -> None:
+        """Late-arrival escape hatch: bypass the ordered window entirely."""
+        self.log_delivery("late:" + entry.tag())
+        self.node.stats.deliveries += 1
+        if entry.kind == "timer":
+            self.timers.pop(entry.timer_key)
+        self._current_entry = entry
+        try:
+            if self.daemon is not None:
+                if entry.kind == "msg":
+                    self.daemon.on_message(entry.msg)
+                elif entry.kind == "ext":
+                    self.daemon.on_external(entry.event)
+                else:
+                    self.daemon.on_timer(entry.timer_key)
+        finally:
+            self._current_entry = None
+
+    # ------------------------------------------------------------------
+    # delivery
+    # ------------------------------------------------------------------
+    def _take_checkpoint(self) -> Checkpoint:
+        app_state = self.daemon.snapshot() if self.daemon is not None else None
+        shim_state = (self._origin_seq, self._sub_seq, self.timers.snapshot())
+        state_bytes = (
+            self.daemon.state_size_bytes() if self.daemon is not None else 256
+        )
+        return Checkpoint(
+            app_state=app_state,
+            shim_state=shim_state,
+            state_bytes=state_bytes,
+            taken_at_us=self.sim.now,
+        )
+
+    def _deliver(
+        self, entry: HistoryEntry, checkpoint: Checkpoint, extra_delay_us: int
+    ) -> None:
+        entry.checkpoint = checkpoint
+        entry.delivered_at_us = self.sim.now
+        entry.log_index = len(self.delivery_log)
+        self.history.append(entry)
+        self.log_delivery(entry.tag())
+        self.node.stats.deliveries += 1
+
+        if entry.kind == "timer":
+            # Popped *after* the checkpoint so a rollback past this firing
+            # re-arms it and the replay loop re-fires it deterministically.
+            self.timers.pop(entry.timer_key)
+
+        self._current_entry = entry
+        self._send_delay_us = extra_delay_us
+        try:
+            if self.daemon is not None:
+                if entry.kind == "msg":
+                    self.daemon.on_message(entry.msg)
+                elif entry.kind == "ext":
+                    self.daemon.on_external(entry.event)
+                else:
+                    self.daemon.on_timer(entry.timer_key)
+        finally:
+            self._current_entry = None
+            self._send_delay_us = 0
+
+    # ------------------------------------------------------------------
+    # rollback
+    # ------------------------------------------------------------------
+    def _on_unsend(self, msg: Message) -> None:
+        self.node.stats.unsends_received += 1
+        unsend: Unsend = msg.payload
+        uids = set(unsend.uids)
+        # messages still held in the future buffer are simply forgotten
+        held = {m.uid for m in self._future_buffer if m.uid in uids}
+        if held:
+            self._future_buffer = [
+                m for m in self._future_buffer if m.uid not in held
+            ]
+            self.node.stats.annihilated += len(held)
+            uids -= held
+        hit_indices = [
+            i
+            for i, entry in enumerate(self.history.entries)
+            if entry.kind == "msg" and entry.msg is not None and entry.msg.uid in uids
+        ]
+        delivered_uids = {
+            self.history[i].msg.uid for i in hit_indices  # type: ignore[union-attr]
+        }
+        # anything not yet arrived will be annihilated on arrival
+        self._annihilate_pending.update(uids - delivered_uids)
+        if hit_indices:
+            self._rollback(min(hit_indices), [], removed_uids=uids)
+
+    def _rollback(self, index, new_entries, removed_uids: Set[int]) -> None:
+        if self._replaying:
+            raise RuntimeError(
+                "rollback triggered during replay; replay must be in-order"
+            )
+        rolled = self.history.truncate_from(index)
+        depth = len(rolled)
+        base = rolled[0]
+        assert base.checkpoint is not None
+
+        # 1. restore daemon + shim state from the divergence point
+        if self.daemon is not None:
+            self.daemon.restore(base.checkpoint.app_state)
+        self._origin_seq, self._sub_seq, timer_snap = base.checkpoint.shim_state
+        self.timers.restore(timer_snap)
+
+        # 2. retract the rolled-back deliveries from the execution log
+        if base.log_index >= 0:
+            del self.delivery_log[base.log_index:]
+
+        # 3. anti-messages: unsend everything those deliveries emitted
+        plan = collect_unsends(rolled)
+        network = self.node.network
+        for dst in sorted(plan):
+            self.node.stats.unsends_sent += 1
+            unsend_msg = Message(
+                src=self.node.node_id,
+                dst=dst,
+                protocol="_unsend",
+                payload=Unsend(uids=tuple(plan[dst])),
+                size_bytes=16 + 8 * len(plan[dst]),
+            )
+            # Control traffic rides a reliable channel (the paper assumes
+            # TCP); deterministic average delay, immune to link loss.
+            network.transmit_deterministic(
+                unsend_msg, network.avg_link_delay_us(self.node.node_id, dst)
+            )
+
+        # 4. replay inputs in the correct order, interleaving due timers
+        rng = self._costs()
+        total_cost = self.strategy.restore_cost_us(rng)
+        self.node.stats.restore_cost_us += total_cost
+        inputs = deque(plan_replay(rolled, new_entries, removed_uids))
+        self._replaying = True
+        try:
+            while True:
+                due = self.timers.next_due(self.vt)
+                timer_entry = None
+                if due is not None:
+                    expiry, seq, timer_key = due
+                    timer_entry = HistoryEntry(
+                        kind="timer",
+                        key=self.ordering.timer_key(expiry, self.node.node_id, seq),
+                        group=expiry,
+                        seq=seq,
+                        timer_key=timer_key,
+                    )
+                next_input = inputs[0] if inputs else None
+                if timer_entry is not None and (
+                    next_input is None or timer_entry.key < next_input.key
+                ):
+                    chosen = timer_entry
+                else:
+                    if next_input is None:
+                        break
+                    chosen = inputs.popleft()
+                step_cost = self.strategy.replay_cost_us(rng)
+                total_cost += step_cost
+                self.node.stats.replay_cost_us += step_cost
+                self._deliver(chosen, self._take_checkpoint(), extra_delay_us=total_cost)
+        finally:
+            self._replaying = False
+        self.node.stats.record_rollback(total_cost, depth)
+
+    # ------------------------------------------------------------------
+    # window pruning + memory accounting
+    # ------------------------------------------------------------------
+    def window_us(self) -> int:
+        """History retention window: 2x the max propagation time plus
+        slack (the paper's footnote 3 uses mean + 4 sigma; we add two
+        beacon intervals and a 500 ms guard)."""
+        if self._window_us is None:
+            if self._window_us_override is not None:
+                self._window_us = self._window_us_override
+            else:
+                network = self.node.network
+                self._window_us = (
+                    2 * network.max_propagation_us()
+                    + 2 * network.time_unit_us
+                    + 500_000
+                )
+        return self._window_us
+
+    def _prune_window(self) -> None:
+        cutoff = self.sim.now - self.window_us()
+        if cutoff > 0:
+            self.history.prune_before_time(cutoff)
+
+    def _sample_memory(self) -> None:
+        state_bytes = (
+            self.daemon.state_size_bytes() if self.daemon is not None else 256
+        )
+        virtual, physical = self.strategy.memory_bytes(
+            state_bytes, len(self.history), self.process_bytes
+        )
+        self.node.stats.record_memory(virtual, physical)
+
+    def _costs(self) -> random.Random:
+        if self._cost_rng is None:
+            self._cost_rng = self.node.network.rng_stream(
+                f"cost|{self.node.node_id}"
+            )
+        return self._cost_rng

@@ -1,0 +1,92 @@
+"""Virtual time and deterministic timers (Section 3, "Dealing with timers").
+
+Control-plane software leans heavily on timers (hello intervals, route
+expiry, retransmits), and real timers fire off the wall clock -- a source
+of nondeterminism.  DEFINED runs daemons in *virtual time*: a counter that
+advances by one unit on every beacon (250 ms apart by default), so the
+perceived rate matches the wall clock while staying exactly reproducible.
+
+:class:`TimerTable` is the per-node timer state.  It is part of the shim's
+checkpointed state: rolling a node back re-arms the timers exactly as they
+were, and the replay loop re-fires due timers interleaved with messages by
+their deterministic ordering keys.
+
+A timer armed at virtual time *v* for *k* units expires at ``v + max(1, k)``
+and fires when the beacon opening that group is observed.  Expiry order
+within a group is by creation sequence, which is deterministic because the
+daemons themselves execute deterministically under DEFINED.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+TimerSnapshot = Tuple[Tuple[Tuple[str, Tuple[int, int]], ...], int]
+
+
+class TimerTable:
+    """Named virtual-time timers with snapshot/restore support."""
+
+    def __init__(self) -> None:
+        self._timers: Dict[str, Tuple[int, int]] = {}  # key -> (expiry_vt, seq)
+        self._seq = 0
+
+    def set(self, key: str, current_vt: int, delay_units: int) -> int:
+        """Arm (or re-arm) ``key``.  Returns the expiry virtual time.
+
+        Delays are clamped to at least one unit: virtual time has beacon
+        granularity, so a zero-delay timer still fires at the next beacon.
+        Re-arming replaces the expiry but assigns a fresh creation
+        sequence number (the firing order within a group is creation
+        order, matching a real event loop's re-insertion semantics).
+        """
+        expiry = current_vt + max(1, delay_units)
+        self._timers[key] = (expiry, self._seq)
+        self._seq += 1
+        return expiry
+
+    def cancel(self, key: str) -> bool:
+        """Disarm ``key``.  Returns True if it was armed."""
+        return self._timers.pop(key, None) is not None
+
+    def pop(self, key: str) -> None:
+        self._timers.pop(key, None)
+
+    def is_armed(self, key: str) -> bool:
+        return key in self._timers
+
+    def expiry_of(self, key: str) -> Optional[int]:
+        entry = self._timers.get(key)
+        return entry[0] if entry else None
+
+    def next_due(self, vt_now: int) -> Optional[Tuple[int, int, str]]:
+        """The earliest timer with ``expiry <= vt_now``.
+
+        Returns ``(expiry_vt, seq, key)`` or ``None``.  Ties on expiry are
+        broken by creation sequence, then key -- all deterministic.
+        """
+        best: Optional[Tuple[int, int, str]] = None
+        for key, (expiry, seq) in self._timers.items():
+            if expiry <= vt_now:
+                cand = (expiry, seq, key)
+                if best is None or cand < best:
+                    best = cand
+        return best
+
+    def due_count(self, vt_now: int) -> int:
+        return sum(1 for expiry, _ in self._timers.values() if expiry <= vt_now)
+
+    def __len__(self) -> int:
+        return len(self._timers)
+
+    # ------------------------------------------------------------------
+    # checkpoint support
+    # ------------------------------------------------------------------
+    def snapshot(self) -> TimerSnapshot:
+        """An immutable snapshot of the table (cheap: tuples only)."""
+        return (tuple(sorted(self._timers.items())), self._seq)
+
+    def restore(self, snap: TimerSnapshot) -> None:
+        items, seq = snap
+        self._timers = dict(items)
+        self._seq = seq

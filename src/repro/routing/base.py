@@ -1,0 +1,119 @@
+"""The daemon contract: what control-plane software looks like to DEFINED.
+
+A daemon is event-driven, deterministic, and checkpointable:
+
+* **event-driven** -- all activity happens inside ``on_start``,
+  ``on_message``, ``on_timer`` and ``on_external`` callbacks, and all
+  effects go through the stack API (``send`` / ``set_timer`` /
+  ``cancel_timer``).  No wall-clock reads, no OS randomness.
+* **deterministic** -- given the same callback sequence, a daemon makes
+  the same decisions and sends the same messages.  (Section 2.5: local
+  nondeterminism such as thread scheduling is removed separately; our
+  daemons are single-threaded by construction, like the instrumented
+  XORP/Quagga of Section 4.)
+* **checkpointable** -- ``snapshot``/``restore`` round-trip the complete
+  protocol state.  This is the reproduction's stand-in for the paper's
+  ``fork()``-based checkpointing.
+
+The causal-marking contract of Section 3 applies: when a send is caused
+by the message currently being processed, daemons pass it as ``parent``;
+timer- and external-event-triggered sends pass ``parent=None`` and become
+*originations* (new causal chains).
+"""
+
+from __future__ import annotations
+
+import abc
+import copy
+from typing import Any, Dict, Optional
+
+from repro.simnet.events import ExternalEvent
+from repro.simnet.messages import Message
+from repro.simnet.node import Stack
+
+
+class Daemon(abc.ABC):
+    """Base class for routing daemons."""
+
+    def __init__(self, node_id: str, stack: Stack) -> None:
+        self.node_id = node_id
+        self.stack = stack
+
+    # ------------------------------------------------------------------
+    # callbacks (driven by the stack)
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def on_start(self) -> None:
+        """Boot: install initial state, arm timers, send initial traffic."""
+
+    @abc.abstractmethod
+    def on_message(self, msg: Message) -> None:
+        """A protocol message was delivered."""
+
+    @abc.abstractmethod
+    def on_timer(self, key: str) -> None:
+        """The named timer fired."""
+
+    def on_external(self, event: ExternalEvent) -> None:
+        """An external event (link/node change, external announcement) was
+        observed at this node.  Default: ignore."""
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def state(self) -> Dict[str, Any]:
+        """The complete mutable protocol state, as a dict of fields.
+
+        Subclasses return references to their real containers; ``snapshot``
+        deep-copies them.
+        """
+
+    @abc.abstractmethod
+    def load_state(self, state: Dict[str, Any]) -> None:
+        """Install a state dict previously produced by :meth:`state`."""
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A deep, independent copy of the protocol state."""
+        return copy.deepcopy(self.state())
+
+    def restore(self, snap: Dict[str, Any]) -> None:
+        """Restore from a snapshot (the snapshot itself stays pristine so
+        it can be restored from again)."""
+        self.load_state(copy.deepcopy(snap))
+
+    def state_size_bytes(self) -> int:
+        """Rough state footprint used by the memory cost models."""
+        return _estimate_bytes(self.state())
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def send(
+        self,
+        dst: str,
+        protocol: str,
+        payload: Any,
+        parent: Optional[Message] = None,
+        size_bytes: int = 64,
+    ) -> None:
+        self.stack.send(dst, protocol, payload, parent=parent, size_bytes=size_bytes)
+
+
+def _estimate_bytes(value: Any, depth: int = 0) -> int:
+    """Cheap recursive size estimate (not sys.getsizeof exactness; the cost
+    models only need a stable, monotone proxy)."""
+    if depth > 6:
+        return 8
+    if isinstance(value, dict):
+        return 32 + sum(
+            _estimate_bytes(k, depth + 1) + _estimate_bytes(v, depth + 1)
+            for k, v in value.items()
+        )
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return 24 + sum(_estimate_bytes(v, depth + 1) for v in value)
+    if isinstance(value, str):
+        return 48 + len(value)
+    if isinstance(value, (int, float, bool)) or value is None:
+        return 16
+    return 64

@@ -1,0 +1,181 @@
+"""BGP route-flap damping (RFC 2439 style) in virtual time.
+
+Section 3 of the paper uses flap damping as the canary for its timer
+design: damping "holds down" unstable routes for a period of *time*, so a
+deterministic timer scheme must not make the network more or less stable
+-- virtual time has to progress at a rate similar to the wall clock.
+DEFINED achieves that by advancing one virtual-time unit per 250 ms
+beacon; this module provides the damping machinery and the tests/bench
+verify that hold-down durations under DEFINED match the uninstrumented
+wall-clock behaviour.
+
+The arithmetic is deliberately integer-only and evaluated lazily (penalty
+decay is computed from elapsed units at observation time, never from a
+background clock), so it is bit-deterministic under replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: RFC 2439-flavoured defaults, expressed in virtual-time units (one unit
+#: = one beacon interval = 250 ms by default, so 60 units = 15 s half
+#: life at example scale).
+DEFAULT_PENALTY_PER_FLAP = 1_000
+DEFAULT_SUPPRESS_THRESHOLD = 2_500
+DEFAULT_REUSE_THRESHOLD = 1_000
+DEFAULT_HALF_LIFE_UNITS = 16
+#: Penalties are capped so a long flap burst cannot suppress forever.
+DEFAULT_MAX_PENALTY = 12_000
+
+
+@dataclass
+class DampingState:
+    """Per-prefix damping bookkeeping."""
+
+    penalty_milli: int = 0          # penalty scaled by 1000 for precision
+    last_update_vt: int = 0
+    suppressed: bool = False
+    flaps: int = 0
+
+
+@dataclass
+class FlapDampener:
+    """Deterministic flap-damping engine.
+
+    Drive it with :meth:`flap` (a route changed) and :meth:`poll` (query
+    suppression state); both take the current virtual time.  Decay uses
+    integer halving per elapsed half life plus linear interpolation
+    within one, which is exactly reproducible across runs.
+    """
+
+    penalty_per_flap: int = DEFAULT_PENALTY_PER_FLAP
+    suppress_threshold: int = DEFAULT_SUPPRESS_THRESHOLD
+    reuse_threshold: int = DEFAULT_REUSE_THRESHOLD
+    half_life_units: int = DEFAULT_HALF_LIFE_UNITS
+    max_penalty: int = DEFAULT_MAX_PENALTY
+    _routes: Dict[str, DampingState] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.reuse_threshold >= self.suppress_threshold:
+            raise ValueError("reuse threshold must be below suppress threshold")
+        if self.half_life_units <= 0:
+            raise ValueError("half life must be positive")
+
+    # ------------------------------------------------------------------
+    # decay arithmetic (integer, lazy)
+    # ------------------------------------------------------------------
+    def _decayed(self, state: DampingState, vt: int) -> int:
+        elapsed = max(0, vt - state.last_update_vt)
+        halvings, rest = divmod(elapsed, self.half_life_units)
+        penalty = state.penalty_milli >> min(halvings, 60)
+        # linear interpolation within the current half life: lose
+        # penalty/2 * rest/half_life
+        penalty -= (penalty * rest) // (2 * self.half_life_units)
+        return penalty
+
+    def _settle(self, prefix: str, vt: int) -> DampingState:
+        state = self._routes.setdefault(prefix, DampingState(last_update_vt=vt))
+        state.penalty_milli = self._decayed(state, vt)
+        state.last_update_vt = vt
+        if state.suppressed and state.penalty_milli <= self.reuse_threshold * 1000:
+            state.suppressed = False
+        return state
+
+    # ------------------------------------------------------------------
+    # API
+    # ------------------------------------------------------------------
+    def flap(self, prefix: str, vt: int) -> bool:
+        """Record one flap; returns the post-flap suppression state."""
+        state = self._settle(prefix, vt)
+        state.flaps += 1
+        state.penalty_milli = min(
+            state.penalty_milli + self.penalty_per_flap * 1000,
+            self.max_penalty * 1000,
+        )
+        if state.penalty_milli > self.suppress_threshold * 1000:
+            state.suppressed = True
+        return state.suppressed
+
+    def poll(self, prefix: str, vt: int) -> bool:
+        """True when the prefix is currently suppressed."""
+        if prefix not in self._routes:
+            return False
+        return self._settle(prefix, vt).suppressed
+
+    def penalty(self, prefix: str, vt: int) -> int:
+        """Current (decayed) penalty, in flap units."""
+        if prefix not in self._routes:
+            return 0
+        return self._settle(prefix, vt).penalty_milli // 1000
+
+    def reuse_eta_units(self, prefix: str, vt: int) -> Optional[int]:
+        """Units until the prefix becomes reusable (None if not
+        suppressed)."""
+        if not self.poll(prefix, vt):
+            return None
+        state = self._routes[prefix]
+        penalty = state.penalty_milli
+        target = self.reuse_threshold * 1000
+        units = 0
+        while penalty > target and units < 10_000:
+            penalty -= penalty // (2 * self.half_life_units)
+            units += 1
+        return units
+
+    def flap_counts(self) -> Dict[str, int]:
+        return {p: s.flaps for p, s in sorted(self._routes.items())}
+
+    def snapshot(self) -> Tuple:
+        """Checkpointable state (the dampener lives inside daemons)."""
+        return tuple(
+            (p, s.penalty_milli, s.last_update_vt, s.suppressed, s.flaps)
+            for p, s in sorted(self._routes.items())
+        )
+
+    def restore(self, snap: Tuple) -> None:
+        self._routes = {
+            p: DampingState(
+                penalty_milli=pen, last_update_vt=vt, suppressed=sup, flaps=fl
+            )
+            for p, pen, vt, sup, fl in snap
+        }
+
+
+class DampedRouteMonitor:
+    """A small daemon-side helper: watches a prefix's announcements and
+    applies damping, recording (virtual-time, suppression) transitions so
+    tests can compare hold-down *durations* across stacks."""
+
+    def __init__(self, dampener: Optional[FlapDampener] = None) -> None:
+        self.dampener = dampener if dampener is not None else FlapDampener()
+        self.transitions: List[Tuple[int, str, bool]] = []
+
+    def on_flap(self, prefix: str, vt: int) -> None:
+        before = self.dampener.poll(prefix, vt)
+        after = self.dampener.flap(prefix, vt)
+        if after != before:
+            self.transitions.append((vt, prefix, after))
+
+    def check(self, prefix: str, vt: int) -> bool:
+        now = self.dampener.poll(prefix, vt)
+        history = [s for _t, p, s in self.transitions if p == prefix]
+        last = history[-1] if history else False
+        if last != now:
+            self.transitions.append((vt, prefix, now))
+        return now
+
+    def suppression_spans(self, prefix: str) -> List[Tuple[int, int]]:
+        """(start_vt, end_vt) hold-down intervals for the prefix."""
+        spans = []
+        start = None
+        for vt, p, suppressed in self.transitions:
+            if p != prefix:
+                continue
+            if suppressed and start is None:
+                start = vt
+            elif not suppressed and start is not None:
+                spans.append((start, vt))
+                start = None
+        return spans

@@ -1,0 +1,76 @@
+"""Routing information base: the table the daemons maintain.
+
+Kept deliberately simple -- destination-keyed entries with next hop,
+metric and (for distance-vector protocols) an expiry in virtual time --
+but with strictly deterministic iteration and representation, because
+RIB contents flow into message payloads and delivery-log tags.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass
+class RouteEntry:
+    """One installed route."""
+
+    dest: str
+    next_hop: Optional[str]
+    metric: int
+    source: str = ""
+    expires_vt: Optional[int] = None
+
+    def as_tuple(self) -> Tuple[str, Optional[str], int, str, Optional[int]]:
+        return (self.dest, self.next_hop, self.metric, self.source, self.expires_vt)
+
+    def __repr__(self) -> str:
+        exp = f" exp@{self.expires_vt}" if self.expires_vt is not None else ""
+        return f"{self.dest}->{self.next_hop} metric={self.metric}{exp}"
+
+
+class Rib:
+    """A destination-keyed routing table."""
+
+    def __init__(self) -> None:
+        self._routes: Dict[str, RouteEntry] = {}
+
+    def install(self, entry: RouteEntry) -> None:
+        self._routes[entry.dest] = entry
+
+    def withdraw(self, dest: str) -> Optional[RouteEntry]:
+        return self._routes.pop(dest, None)
+
+    def lookup(self, dest: str) -> Optional[RouteEntry]:
+        return self._routes.get(dest)
+
+    def next_hop(self, dest: str) -> Optional[str]:
+        entry = self._routes.get(dest)
+        return entry.next_hop if entry is not None else None
+
+    def __contains__(self, dest: str) -> bool:
+        return dest in self._routes
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __iter__(self) -> Iterator[RouteEntry]:
+        for dest in sorted(self._routes):
+            yield self._routes[dest]
+
+    def destinations(self) -> List[str]:
+        return sorted(self._routes)
+
+    def as_dict(self) -> Dict[str, Tuple]:
+        """Deterministic dump used in snapshots and assertions."""
+        return {dest: self._routes[dest].as_tuple() for dest in sorted(self._routes)}
+
+    def load_dict(self, data: Dict[str, Tuple]) -> None:
+        self._routes = {
+            dest: RouteEntry(*fields) for dest, fields in data.items()
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        rows = ", ".join(repr(e) for e in self)
+        return f"Rib({rows})"

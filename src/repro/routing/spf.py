@@ -1,0 +1,74 @@
+"""Shortest-path-first computation (Dijkstra) for link-state routing.
+
+Deterministic by construction: ties are broken by node identifier, never
+by hash order, so every SPF run over the same link-state database yields
+the same distances and next hops on every platform and every run.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Mapping, Optional, Tuple
+
+Adjacency = Mapping[str, Mapping[str, int]]
+
+
+def dijkstra(
+    adjacency: Adjacency, source: str
+) -> Tuple[Dict[str, int], Dict[str, Optional[str]]]:
+    """Single-source shortest paths.
+
+    Returns ``(distances, first_hops)``; ``first_hops[dest]`` is the
+    neighbor of ``source`` on the chosen shortest path (``None`` for the
+    source itself).  Among equal-cost paths the one through the
+    lexicographically smallest first hop wins -- a deterministic
+    tie-break.
+    """
+    INF = float("inf")
+    dist: Dict[str, float] = {source: 0}
+    first: Dict[str, Optional[str]] = {source: None}
+    settled: set = set()
+    # heap entries: (distance, first_hop or "", node)
+    heap: list = [(0, "", source)]
+    while heap:
+        d, via, u = heapq.heappop(heap)
+        if u in settled:
+            continue
+        settled.add(u)
+        dist[u] = d
+        first[u] = via if via else None
+        for v in sorted(adjacency.get(u, {})):
+            w = adjacency[u][v]
+            if w < 0:
+                raise ValueError(f"negative link cost {w} on {u}-{v}")
+            if v in settled:
+                continue
+            nd = d + w
+            v_via = via if via else v
+            best = dist.get(v, INF)
+            if nd < best or (nd == best and v_via < (first.get(v) or "￿")):
+                dist[v] = nd
+                first[v] = v_via
+                heapq.heappush(heap, (nd, v_via, v))
+    return {k: int(v) for k, v in dist.items()}, first
+
+
+def expected_distances(
+    links: Mapping[Tuple[str, str], bool],
+    nodes,
+    source: str,
+    cost: int = 1,
+) -> Dict[str, int]:
+    """Ground-truth hop distances over the *live* topology.
+
+    ``links`` maps ``(a, b)`` pairs to their up/down state.  Used by the
+    evaluation harness to decide when a network has converged: every
+    router's computed distances must equal this.
+    """
+    adjacency: Dict[str, Dict[str, int]] = {n: {} for n in nodes}
+    for (a, b), up in links.items():
+        if up and a in adjacency and b in adjacency:
+            adjacency[a][b] = cost
+            adjacency[b][a] = cost
+    dist, _ = dijkstra(adjacency, source)
+    return dist

@@ -1,0 +1,40 @@
+"""Deterministic discrete-event network simulator substrate.
+
+This package replaces the paper's Emulab testbed.  It provides:
+
+* :mod:`repro.simnet.engine` -- an event queue with an integer-microsecond
+  clock and deterministic tie-breaking, so the substrate itself is fully
+  reproducible and all *modelled* nondeterminism (link jitter, processing
+  delay variation) comes from explicit, seeded RNG streams.
+* :mod:`repro.simnet.messages` -- wire messages and the DEFINED causal
+  annotation record.
+* :mod:`repro.simnet.link` -- link delay/jitter/loss models.
+* :mod:`repro.simnet.node` -- the process host that owns a control-plane
+  daemon (possibly wrapped by a DEFINED shim).
+* :mod:`repro.simnet.network` -- topology wiring, link/router failures, and
+  external event injection.
+* :mod:`repro.simnet.transport` -- a reliable, ordered (TCP-like) channel
+  used by DEFINED-LS debugging networks.
+* :mod:`repro.simnet.stats` -- per-node counters used by the evaluation.
+"""
+
+from repro.simnet.engine import EventHandle, Simulator
+from repro.simnet.events import ExternalEvent
+from repro.simnet.link import DelayModel, Link
+from repro.simnet.messages import Annotation, Message
+from repro.simnet.network import Network
+from repro.simnet.node import Node
+from repro.simnet.stats import NodeStats
+
+__all__ = [
+    "Annotation",
+    "DelayModel",
+    "EventHandle",
+    "ExternalEvent",
+    "Link",
+    "Message",
+    "Network",
+    "Node",
+    "NodeStats",
+    "Simulator",
+]

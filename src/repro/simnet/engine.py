@@ -1,0 +1,202 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine is the foundation of the reproduction: everything above it
+(links, daemons, the DEFINED shim) schedules work through a single priority
+queue keyed on ``(time_us, sequence)``.  The secondary ``sequence`` key makes
+tie-breaking deterministic: two events scheduled for the same microsecond
+always execute in scheduling order, on every run.
+
+Simulated time is an integer number of microseconds.  Using integers (rather
+than floats) removes any possibility of platform-dependent rounding
+differences, which matters because the whole point of the paper is
+bit-for-bit reproducible executions.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+#: One millisecond expressed in engine time units (microseconds).
+MS = 1_000
+#: One second expressed in engine time units (microseconds).
+SECOND = 1_000_000
+
+
+class SimulationError(RuntimeError):
+    """Raised when the engine is used inconsistently (e.g. time travel)."""
+
+
+class EventHandle:
+    """A cancellable reference to a scheduled event.
+
+    Handles are returned by :meth:`Simulator.schedule`.  Cancellation is
+    lazy: the entry stays in the heap but is skipped when popped.
+    """
+
+    __slots__ = ("time_us", "seq", "callback", "args", "cancelled", "label")
+
+    def __init__(
+        self,
+        time_us: int,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple,
+        label: str = "",
+    ) -> None:
+        self.time_us = time_us
+        self.seq = seq
+        self.callback: Optional[Callable[..., None]] = callback
+        self.args = args
+        self.cancelled = False
+        self.label = label
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+        self.callback = None
+        self.args = ()
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time_us, self.seq) < (other.time_us, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<EventHandle t={self.time_us}us seq={self.seq} {state} {self.label!r}>"
+
+
+class Simulator:
+    """A single-threaded discrete-event simulator.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(10 * MS, callback, arg1, arg2)
+        sim.run(until_us=SECOND)
+
+    The engine guarantees:
+
+    * events fire in nondecreasing time order;
+    * events with equal timestamps fire in the order they were scheduled;
+    * ``sim.now`` never moves backwards.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0
+        self._seq = 0
+        self._queue: List[EventHandle] = []
+        self._events_executed = 0
+        self._running = False
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in microseconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Total number of events dispatched so far."""
+        return self._events_executed
+
+    @property
+    def pending(self) -> int:
+        """Number of queue entries, including lazily-cancelled ones."""
+        return len(self._queue)
+
+    def schedule(
+        self,
+        delay_us: int,
+        callback: Callable[..., None],
+        *args: Any,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` to run ``delay_us`` from now.
+
+        ``delay_us`` must be non-negative; a zero delay runs the callback
+        after all events already scheduled for the current instant.
+        """
+        if delay_us < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay_us})")
+        handle = EventHandle(self._now + delay_us, self._seq, callback, args, label)
+        self._seq += 1
+        heapq.heappush(self._queue, handle)
+        return handle
+
+    def schedule_at(
+        self,
+        time_us: int,
+        callback: Callable[..., None],
+        *args: Any,
+        label: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback(*args)`` at an absolute simulated time."""
+        if time_us < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time_us} (now is {self._now})"
+            )
+        return self.schedule(time_us - self._now, callback, *args, label=label)
+
+    def step(self) -> bool:
+        """Run the single next pending event.
+
+        Returns ``True`` if an event ran, ``False`` if the queue was empty.
+        """
+        while self._queue:
+            handle = heapq.heappop(self._queue)
+            if handle.cancelled:
+                continue
+            if handle.time_us < self._now:
+                raise SimulationError("event queue corrupted: time went backwards")
+            self._now = handle.time_us
+            callback, args = handle.callback, handle.args
+            handle.callback, handle.args = None, ()
+            self._events_executed += 1
+            assert callback is not None
+            callback(*args)
+            return True
+        return False
+
+    def run(
+        self,
+        until_us: Optional[int] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Run events until the queue drains, ``until_us`` passes, or
+        ``max_events`` have executed.
+
+        Returns the number of events executed by this call.  When
+        ``until_us`` is given, the clock is advanced to exactly ``until_us``
+        on return even if the queue drained earlier, so repeated bounded
+        runs tile time seamlessly.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                head = self._queue[0]
+                if head.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until_us is not None and head.time_us > until_us:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                if self.step():
+                    executed += 1
+            if until_us is not None and self._now < until_us:
+                self._now = until_us
+        finally:
+            self._running = False
+        return executed
+
+    def drain(self, max_events: int = 10_000_000) -> int:
+        """Run until the queue is completely empty (bounded as a safeguard)."""
+        executed = self.run(max_events=max_events)
+        if self._queue and executed >= max_events:
+            raise SimulationError(
+                f"drain() hit the {max_events}-event safety bound; "
+                "likely a livelock in the simulated system"
+            )
+        return executed

@@ -1,0 +1,102 @@
+"""External events -- the inputs that DEFINED records and replays.
+
+The paper's determinism guarantee is conditional: *given the same set of
+external events*, an instrumented network always executes identically.
+External events are the things outside the instrumented domain:
+
+* link failures and repairs (``link_down`` / ``link_up``);
+* router failures and repairs (``node_down`` / ``node_up``);
+* messages from routers outside the instrumented domain, e.g. eBGP
+  announcements from a neighboring AS (``announce``).
+
+Each event is observed at one or two nodes (both endpoints of a link, for
+link events) and is what the partial recording captures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, List, Tuple
+
+LINK_DOWN = "link_down"
+LINK_UP = "link_up"
+NODE_DOWN = "node_down"
+NODE_UP = "node_up"
+ANNOUNCE = "announce"
+
+_VALID_KINDS = frozenset({LINK_DOWN, LINK_UP, NODE_DOWN, NODE_UP, ANNOUNCE})
+
+
+@dataclass(frozen=True)
+class ExternalEvent:
+    """A single external input to the network.
+
+    ``target`` identifies the object affected: an ``(a, b)`` node-id pair
+    for link events, a node id for node events, and the receiving node id
+    for announcements.  ``data`` carries protocol-specific content for
+    announcements (e.g. a BGP path advertisement).
+    """
+
+    time_us: int
+    kind: str
+    target: Any
+    data: Any = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _VALID_KINDS:
+            raise ValueError(f"unknown external event kind: {self.kind!r}")
+        if self.time_us < 0:
+            raise ValueError("external events cannot occur at negative time")
+
+    def endpoints(self) -> Tuple[str, ...]:
+        """Node ids at which this event is observed (and recorded)."""
+        if self.kind in (LINK_DOWN, LINK_UP):
+            a, b = self.target
+            return (a, b)
+        if self.kind in (NODE_DOWN, NODE_UP):
+            return (self.target,)
+        return (self.target,)
+
+
+@dataclass(frozen=True)
+class ObservedEvent:
+    """An :class:`ExternalEvent` as seen by one node.
+
+    This is the unit the DEFINED-RB shim tags with a group number and an
+    origin sequence number, and the unit the recorder logs.  ``node`` is
+    the observing node.
+    """
+
+    node: str
+    event: ExternalEvent
+
+    def describe(self) -> str:
+        ev = self.event
+        return f"{ev.kind}@{self.node} target={ev.target!r} t={ev.time_us}us"
+
+
+@dataclass
+class EventSchedule:
+    """A time-ordered collection of external events (a workload trace)."""
+
+    events: List[ExternalEvent] = field(default_factory=list)
+
+    def add(self, event: ExternalEvent) -> None:
+        self.events.append(event)
+
+    def extend(self, events: Iterable[ExternalEvent]) -> None:
+        self.events.extend(events)
+
+    def sorted(self) -> List[ExternalEvent]:
+        """Events in injection order (time, then kind/target for stability)."""
+        return sorted(self.events, key=lambda e: (e.time_us, e.kind, repr(e.target)))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.sorted())
+
+    def horizon_us(self) -> int:
+        """Time of the last event, or 0 for an empty schedule."""
+        return max((e.time_us for e in self.events), default=0)

@@ -1,0 +1,154 @@
+"""Wire messages and DEFINED causal annotations.
+
+Every message travelling through the simulated network is a
+:class:`Message`.  When a network is instrumented by DEFINED-RB, the shim
+attaches an :class:`Annotation` carrying the fields from Section 2.2 of the
+paper:
+
+* ``origin`` (the paper's *n_i*) -- identifier of the node that generated
+  the first message of the causal chain;
+* ``seq`` (*s_i*) -- strictly increasing sequence number assigned by the
+  originating node;
+* ``delay_us`` (*d_i*) -- deterministic estimate of the accumulated link
+  delay from the originating node to the receiver, built from pre-measured
+  average link delays;
+* ``group`` -- the beacon group number (Section 2.2, "timesteps");
+* ``chain`` -- the causal chain length within the group, used to bound
+  chains (messages over the bound are pushed to the next group);
+* ``sub`` -- a deterministic per-sender disambiguator.  The paper's triple
+  ``(d_i, n_i, s_i)`` is not a total order when one delivery emits several
+  messages along the same path; ``sub`` breaks those ties and is itself
+  deterministic because it is produced by (deterministic) daemon execution
+  and is checkpointed with the shim state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional, Tuple
+
+#: Sentinel ``d_i`` used for timer pseudo-entries: timers of group *g* are
+#: ordered after every real message of group *g* but before any message of
+#: group *g+1*.
+TIMER_DELAY_SENTINEL = 2**62
+
+
+@dataclass(frozen=True)
+class Annotation:
+    """DEFINED-RB causal annotation (Section 2.2).
+
+    ``sender`` is the node that put this particular message on the wire.
+    It is part of every ordering key because the paper's triple plus our
+    ``sub`` tiebreaker is still not globally unique: ``sub`` counters are
+    per-node, so two *different* relays of the same origination (e.g.
+    acknowledgements from two neighbors) can coincide on
+    ``(n_i, s_i, sub)`` -- and even on the accumulated delay estimate.
+    Colliding keys would make two distinct messages indistinguishable
+    from an anti-message replacement race.
+    """
+
+    origin: str
+    seq: int
+    delay_us: int
+    group: int
+    chain: int = 0
+    sub: int = 0
+    sender: str = ""
+
+    def sort_key(self) -> Tuple[int, int, str, int, int, str]:
+        """The paper's ordering key: group, then d_i, then n_i, then s_i,
+        with the deterministic (sub, sender) tiebreakers appended."""
+        return (self.group, self.delay_us, self.origin, self.seq, self.sub,
+                self.sender)
+
+    def extended(
+        self,
+        link_delay_us: int,
+        sub: int,
+        over_chain_bound: bool,
+        sender: str = "",
+    ) -> "Annotation":
+        """Annotation for a message *caused by* a message carrying ``self``.
+
+        Per the paper: the child keeps the parent's origin and sequence
+        number, accumulates the outgoing link's average delay into ``d_i``,
+        and inherits the group number -- unless the causal chain exceeded
+        the configured bound, in which case it is assigned to the next
+        group (and the chain length restarts).
+        """
+        if over_chain_bound:
+            return Annotation(
+                origin=self.origin,
+                seq=self.seq,
+                delay_us=self.delay_us + link_delay_us,
+                group=self.group + 1,
+                chain=0,
+                sub=sub,
+                sender=sender,
+            )
+        return Annotation(
+            origin=self.origin,
+            seq=self.seq,
+            delay_us=self.delay_us + link_delay_us,
+            group=self.group,
+            chain=self.chain + 1,
+            sub=sub,
+            sender=sender,
+        )
+
+
+#: Protocol name used by DEFINED control traffic (beacons, unsends, barrier
+#: messages).  Control messages are counted separately in the statistics
+#: because Figure 6a/8a report control overhead.
+CONTROL_PROTOCOLS = frozenset({"_beacon", "_unsend", "_barrier", "_marker", "_ack"})
+
+
+@dataclass
+class Message:
+    """A message on the wire.
+
+    ``uid`` is globally unique and assigned by the :class:`~repro.simnet.network.Network`
+    when the message is first transmitted.  Anti-messages ("unsends") refer
+    to these uids.  ``payload`` is protocol-specific and must be treated as
+    immutable by receivers.
+    """
+
+    src: str
+    dst: str
+    protocol: str
+    payload: Any
+    uid: int = -1
+    annotation: Optional[Annotation] = None
+    size_bytes: int = 64
+    sent_at_us: int = -1
+
+    @property
+    def is_control(self) -> bool:
+        """True for DEFINED's own control traffic (not application data)."""
+        return self.protocol in CONTROL_PROTOCOLS
+
+    def with_annotation(self, annotation: Annotation) -> "Message":
+        """Return a copy carrying ``annotation`` (messages are value-like)."""
+        return replace(self, annotation=annotation)
+
+    def describe(self) -> str:
+        """One-line human-readable summary used by the interactive debugger."""
+        ann = ""
+        if self.annotation is not None:
+            a = self.annotation
+            ann = f" [g={a.group} d={a.delay_us} n={a.origin} s={a.seq}.{a.sub}]"
+        return f"{self.protocol} {self.src}->{self.dst} uid={self.uid}{ann}"
+
+
+@dataclass
+class Unsend:
+    """Payload of an anti-message: roll back the listed message uids.
+
+    Sent by a node performing a rollback to every neighbor it had sent
+    now-invalidated messages to (Section 2.2, "Performing the rollback").
+    """
+
+    uids: Tuple[int, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        self.uids = tuple(sorted(set(self.uids)))

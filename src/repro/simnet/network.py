@@ -1,0 +1,409 @@
+"""The simulated network: topology, transmission, failures, workloads.
+
+A :class:`Network` ties together the event engine, the links, and the
+nodes.  It is deliberately the *only* place where modelled nondeterminism
+enters the system: every random draw (link jitter, loss, timer skew) comes
+from a named RNG stream derived from the network's ``seed``.  Running the
+same workload with two different seeds yields two different "real world"
+executions -- different message orderings and timings -- which is the
+nondeterminism DEFINED-RB is designed to mask.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.simnet.engine import Simulator
+from repro.simnet.events import (
+    ANNOUNCE,
+    LINK_DOWN,
+    LINK_UP,
+    NODE_DOWN,
+    NODE_UP,
+    EventSchedule,
+    ExternalEvent,
+)
+from repro.simnet.link import DelayModel, Link
+from repro.simnet.messages import Message
+from repro.simnet.node import Node, Stack, VanillaStack
+from repro.simnet.stats import RunStats
+
+#: Default virtual-time unit: the paper broadcasts one beacon every 250 ms
+#: and advances virtual time by one unit per beacon (Section 3).
+DEFAULT_TIME_UNIT_US = 250_000
+
+StackFactory = Callable[[Node], Stack]
+DaemonFactory = Callable[[str, Stack], object]
+
+
+class Network:
+    """A simulated network of control-plane nodes.
+
+    Parameters
+    ----------
+    seed:
+        Seed for all modelled-nondeterminism RNG streams.  Two runs with
+        the same topology, workload and seed are bit-identical; changing
+        the seed changes arrival orderings and timer skews.
+    time_unit_us:
+        Length of one virtual-time unit (= beacon interval under DEFINED).
+    """
+
+    def __init__(self, seed: int = 0, time_unit_us: int = DEFAULT_TIME_UNIT_US) -> None:
+        self.sim = Simulator()
+        self.seed = seed
+        self.time_unit_us = time_unit_us
+        self.nodes: Dict[str, Node] = {}
+        self.links: Dict[Tuple[str, str], Link] = {}
+        self._adjacency: Dict[str, List[Link]] = {}
+        self.run_stats = RunStats()
+        self._uid = 0
+        self._rng_cache: Dict[str, random.Random] = {}
+        self._delay_matrix: Optional[Dict[str, Dict[str, int]]] = None
+        #: Per-direction FIFO enforcement: physical links do not reorder
+        #: packets, so a later transmission never arrives before an
+        #: earlier one on the same (link, direction).  Without this,
+        #: i.i.d. per-packet jitter would shuffle back-to-back bursts
+        #: (e.g. a database exchange), which no real wire does.
+        self._fifo_front: Dict[Tuple[str, str], int] = {}
+        #: Messages annihilated in flight by an anti-message; checked at
+        #: delivery time.  Maintained by the DEFINED-RB shims via
+        #: :meth:`annihilate`.
+        self._annihilated: set = set()
+        #: Optional observer invoked for every applied external event.
+        #: Production harnesses hook the DEFINED recorder here so topology
+        #: facts (which have no single observing daemon) enter the partial
+        #: recording.
+        self.event_tap = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node_id: str) -> Node:
+        if node_id in self.nodes:
+            raise ValueError(f"duplicate node id {node_id!r}")
+        node = Node(node_id, self)
+        self.nodes[node_id] = node
+        self._adjacency.setdefault(node_id, [])
+        return node
+
+    def add_link(
+        self,
+        a: str,
+        b: str,
+        model: DelayModel = DelayModel(),
+        model_reverse: Optional[DelayModel] = None,
+    ) -> Link:
+        for end in (a, b):
+            if end not in self.nodes:
+                raise ValueError(f"unknown node {end!r}")
+        key = self._link_key(a, b)
+        if key in self.links:
+            raise ValueError(f"duplicate link {a}-{b}")
+        link = Link(a, b, model, model_reverse)
+        self.links[key] = link
+        self._adjacency[a].append(link)
+        self._adjacency[b].append(link)
+        self._delay_matrix = None
+        return link
+
+    def attach(
+        self,
+        stack_factory: StackFactory,
+        daemon_factory: Optional[DaemonFactory] = None,
+    ) -> None:
+        """Instantiate a stack (and optionally a daemon) on every node."""
+        for node in self.nodes.values():
+            node.stack = stack_factory(node)
+            if daemon_factory is not None:
+                node.daemon = daemon_factory(node.node_id, node.stack)
+
+    def attach_vanilla(
+        self,
+        daemon_factory: Optional[DaemonFactory] = None,
+        timer_jitter_us: int = 20_000,
+    ) -> None:
+        """Attach the uninstrumented baseline stack everywhere."""
+        self.attach(
+            lambda node: VanillaStack(node, timer_jitter_us=timer_jitter_us),
+            daemon_factory,
+        )
+
+    def start(self, stagger_us: int = 0) -> None:
+        """Boot every node's stack/daemon (deterministic node-id order).
+
+        ``stagger_us`` optionally spaces the boots out (node index times
+        the value).  Caveat for DEFINED-RB networks: the delay-sensitive
+        ordering assumes origins transmit at roughly the same time
+        (Section 2.2), so staggering boots makes later nodes' boot
+        traffic systematically late relative to its d_i estimates and
+        multiplies rollbacks.  Keep any spread below one beacon interval
+        so all boot traffic stays in group 0.
+        """
+        for index, node_id in enumerate(sorted(self.nodes)):
+            if stagger_us <= 0:
+                self.nodes[node_id].start()
+            else:
+                self.sim.schedule(
+                    index * stagger_us,
+                    self.nodes[node_id].start,
+                    label=f"boot:{node_id}",
+                )
+
+    # ------------------------------------------------------------------
+    # topology queries
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _link_key(a: str, b: str) -> Tuple[str, str]:
+        return (a, b) if a <= b else (b, a)
+
+    def link_between(self, a: str, b: str) -> Optional[Link]:
+        return self.links.get(self._link_key(a, b))
+
+    def live_neighbors(self, node_id: str) -> List[str]:
+        """Neighbors reachable over up links to up nodes, sorted."""
+        out = []
+        for link in self._adjacency.get(node_id, []):
+            other = link.other(node_id)
+            if link.up and self.nodes[other].up:
+                out.append(other)
+        return sorted(out)
+
+    def all_neighbors(self, node_id: str) -> List[str]:
+        """Neighbors regardless of link state, sorted."""
+        return sorted(link.other(node_id) for link in self._adjacency.get(node_id, []))
+
+    def node_ids(self) -> List[str]:
+        return sorted(self.nodes)
+
+    # ------------------------------------------------------------------
+    # deterministic delay estimates (the paper's measured average delays)
+    # ------------------------------------------------------------------
+    def avg_link_delay_us(self, src: str, dst: str) -> int:
+        link = self.link_between(src, dst)
+        if link is None:
+            raise ValueError(f"no link {src}-{dst}")
+        return link.avg_delay_us(src)
+
+    def delay_matrix(self) -> Dict[str, Dict[str, int]]:
+        """All-pairs shortest path delays over average link delays.
+
+        Used for deterministic beacon propagation schedules and for the
+        history-window bound (2x the maximum propagation time,
+        Section 2.2).  Computed once and cached; link state changes do not
+        invalidate it because the paper fixes delay estimates at launch.
+        """
+        if self._delay_matrix is None:
+            self._delay_matrix = {
+                src: self._dijkstra(src) for src in self.nodes
+            }
+        return self._delay_matrix
+
+    def _dijkstra(self, src: str) -> Dict[str, int]:
+        dist = {src: 0}
+        heap: List[Tuple[int, str]] = [(0, src)]
+        while heap:
+            d, u = heapq.heappop(heap)
+            if d > dist.get(u, float("inf")):
+                continue
+            for link in self._adjacency.get(u, []):
+                v = link.other(u)
+                nd = d + link.avg_delay_us(u)
+                if nd < dist.get(v, float("inf")):
+                    dist[v] = nd
+                    heapq.heappush(heap, (nd, v))
+        return dist
+
+    def assert_lossless(self, context: str = "DEFINED-RB") -> None:
+        """Fail fast when any link can drop packets.
+
+        Deterministic execution assumes reliable delivery (the paper's
+        control planes run over TCP; footnote 4 offers recording losses
+        as the alternative, which this reproduction does not implement).
+        Silently running an instrumented network over lossy links would
+        produce recordings that cannot reproduce the execution.
+        """
+        for link in self.links.values():
+            if link.model_ab.loss > 0 or link.model_ba.loss > 0:
+                raise ValueError(
+                    f"{context} requires lossless links, but {link.link_id} "
+                    f"has a loss model; use loss=0 or an uninstrumented mode"
+                )
+
+    def max_propagation_us(self) -> int:
+        """Largest finite all-pairs delay (the network 'diameter' in time)."""
+        best = 0
+        for row in self.delay_matrix().values():
+            for d in row.values():
+                if d > best:
+                    best = d
+        return best
+
+    # ------------------------------------------------------------------
+    # RNG streams
+    # ------------------------------------------------------------------
+    def rng_stream(self, name: str) -> random.Random:
+        """A named, seeded RNG stream.  Stable for a given (seed, name)."""
+        if name not in self._rng_cache:
+            self._rng_cache[name] = random.Random(f"{self.seed}|{name}")
+        return self._rng_cache[name]
+
+    # ------------------------------------------------------------------
+    # transmission
+    # ------------------------------------------------------------------
+    def next_uid(self) -> int:
+        self._uid += 1
+        return self._uid
+
+    def _count_sent(self, msg: Message) -> None:
+        stats = self.nodes[msg.src].stats
+        if msg.protocol == "_beacon":
+            pass  # beacons are constant background, tracked at receivers
+        elif msg.is_control:
+            stats.control_packets_sent += 1
+        else:
+            stats.data_packets_sent += 1
+        stats.bytes_sent += msg.size_bytes
+
+    def transmit(self, msg: Message, extra_delay_us: int = 0) -> int:
+        """Put ``msg`` on the wire.  Returns the assigned uid.
+
+        ``extra_delay_us`` models sender-side processing latency (e.g. the
+        checkpointing overhead charged by DEFINED-RB before a response
+        leaves the node); it is added to the sampled link delay.
+
+        The packet is dropped (silently, as in a real network) when the
+        link is down, an endpoint is down, or the loss model fires.
+        """
+        if msg.uid < 0:
+            msg.uid = self.next_uid()
+        msg.sent_at_us = self.sim.now
+        src_node = self.nodes[msg.src]
+        self._count_sent(msg)
+
+        link = self.link_between(msg.src, msg.dst)
+        if link is None:
+            raise ValueError(f"no link for {msg.src}->{msg.dst}")
+        if not link.up or not src_node.up or not self.nodes[msg.dst].up:
+            return msg.uid
+        model = link.model_for(msg.src)
+        rng = self.rng_stream(f"jitter|{link.link_id}|{msg.src}")
+        if model.sample_loss(rng):
+            return msg.uid
+        delay = model.sample_us(rng) + extra_delay_us
+        fifo_key = (link.link_id, msg.src)
+        arrival = max(
+            self.sim.now + delay, self._fifo_front.get(fifo_key, 0) + 1
+        )
+        self._fifo_front[fifo_key] = arrival
+        self.sim.schedule(
+            arrival - self.sim.now, self._deliver, msg, label=f"deliver:{msg.uid}"
+        )
+        return msg.uid
+
+    def transmit_deterministic(self, msg: Message, delay_us: int) -> int:
+        """Transmit with an exact delay and no loss (beacons, LS barriers).
+
+        Bypasses link lookup: used for traffic whose propagation must be
+        reproducible (beacon distribution trees, coordinator barriers),
+        with delays taken from the deterministic :meth:`delay_matrix`.
+        """
+        if msg.uid < 0:
+            msg.uid = self.next_uid()
+        msg.sent_at_us = self.sim.now
+        self._count_sent(msg)
+        self.sim.schedule(delay_us, self._deliver, msg, label=f"deliver:{msg.uid}")
+        return msg.uid
+
+    def _deliver(self, msg: Message) -> None:
+        if msg.uid in self._annihilated:
+            self._annihilated.discard(msg.uid)
+            node = self.nodes.get(msg.dst)
+            if node is not None:
+                node.stats.annihilated += 1
+            return
+        node = self.nodes.get(msg.dst)
+        if node is not None:
+            node.deliver(msg)
+
+    def annihilate(self, uid: int) -> None:
+        """Mark an in-flight message as unsent (anti-message caught it in
+        transit); it will be dropped at delivery time."""
+        self._annihilated.add(uid)
+
+    def forget_annihilated(self, uid: int) -> None:
+        self._annihilated.discard(uid)
+
+    # ------------------------------------------------------------------
+    # external events
+    # ------------------------------------------------------------------
+    def schedule_events(self, schedule: EventSchedule) -> None:
+        for event in schedule:
+            self.sim.schedule_at(
+                event.time_us, self.apply_event, event, label=f"ext:{event.kind}"
+            )
+
+    def apply_event(self, event: ExternalEvent) -> None:
+        """Apply an external event *now* and notify observing nodes."""
+        if self.event_tap is not None:
+            self.event_tap(event)
+        if event.kind in (LINK_DOWN, LINK_UP):
+            a, b = event.target
+            link = self.link_between(a, b)
+            if link is None:
+                raise ValueError(f"external event references unknown link {event.target}")
+            link.up = event.kind == LINK_UP
+            for end in (a, b):
+                self.nodes[end].observe_external(event)
+        elif event.kind in (NODE_DOWN, NODE_UP):
+            node = self.nodes[event.target]
+            node.set_up(event.kind == NODE_UP)
+            if event.kind == NODE_UP:
+                node.start()
+            node.observe_external(event)
+        elif event.kind == ANNOUNCE:
+            self.nodes[event.target].observe_external(event)
+        else:  # pragma: no cover - EventSchedule validates kinds
+            raise ValueError(f"unknown event kind {event.kind}")
+
+    # ------------------------------------------------------------------
+    # execution fingerprints
+    # ------------------------------------------------------------------
+    def delivery_logs(self) -> Dict[str, Tuple[str, ...]]:
+        """Per-node sequences of events delivered to the daemons."""
+        out: Dict[str, Tuple[str, ...]] = {}
+        for node_id in sorted(self.nodes):
+            stack = self.nodes[node_id].stack
+            out[node_id] = tuple(stack.delivery_log) if stack is not None else ()
+        return out
+
+    def run(self, until_us: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Convenience passthrough to the engine."""
+        if until_us is None and max_events is None:
+            return self.sim.drain()
+        return self.sim.run(until_us=until_us, max_events=max_events)
+
+
+def build_network(
+    topology: Iterable[Tuple[str, str, int]],
+    seed: int = 0,
+    jitter_us: int = 500,
+    loss: float = 0.0,
+    time_unit_us: int = DEFAULT_TIME_UNIT_US,
+) -> Network:
+    """Build a :class:`Network` from ``(a, b, base_delay_us)`` triples.
+
+    A small convenience used by examples and tests; the topology package
+    produces richer graphs via :func:`repro.topology.to_network`.
+    """
+    net = Network(seed=seed, time_unit_us=time_unit_us)
+    seen = set()
+    for a, b, base_us in topology:
+        for end in (a, b):
+            if end not in seen:
+                net.add_node(end)
+                seen.add(end)
+        net.add_link(a, b, DelayModel(base_us=base_us, jitter_us=jitter_us, loss=loss))
+    return net

@@ -1,0 +1,97 @@
+"""Topologies and workload traces for the evaluation.
+
+The paper evaluates on Rocketfuel PoP-level topologies (Sprintlink,
+Ebone, Level3) replaying OSPF events from a Tier-1 ISP trace, and scales
+with BRITE-generated synthetic graphs.  We have none of those proprietary
+artifacts, so this package synthesizes faithful equivalents (see
+DESIGN.md's substitution table):
+
+* :mod:`repro.topology.rocketfuel` -- deterministic synthetic PoP graphs
+  with the published node counts and geographic delay structure;
+* :mod:`repro.topology.brite` -- Waxman and Barabási–Albert generators
+  (the two classic BRITE models);
+* :mod:`repro.topology.traces` -- a Tier-1-like OSPF event trace
+  synthesizer (651 link events, diurnal flap clustering) plus mapping
+  onto arbitrary topologies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.simnet.link import DelayModel
+from repro.simnet.network import DEFAULT_TIME_UNIT_US, Network
+
+
+@dataclass
+class TopologyGraph:
+    """A generated topology: node ids plus delay-weighted edges."""
+
+    name: str
+    nodes: List[str] = field(default_factory=list)
+    edges: List[Tuple[str, str, int]] = field(default_factory=list)  # (a, b, delay_us)
+
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    def edge_count(self) -> int:
+        return len(self.edges)
+
+    def adjacency(self):
+        adj = {n: set() for n in self.nodes}
+        for a, b, _d in self.edges:
+            adj[a].add(b)
+            adj[b].add(a)
+        return adj
+
+    def is_connected(self) -> bool:
+        if not self.nodes:
+            return True
+        adj = self.adjacency()
+        seen = {self.nodes[0]}
+        frontier = [self.nodes[0]]
+        while frontier:
+            u = frontier.pop()
+            for v in adj[u]:
+                if v not in seen:
+                    seen.add(v)
+                    frontier.append(v)
+        return len(seen) == len(self.nodes)
+
+    def avg_degree(self) -> float:
+        if not self.nodes:
+            return 0.0
+        return 2 * len(self.edges) / len(self.nodes)
+
+
+def to_network(
+    graph: TopologyGraph,
+    seed: int = 0,
+    jitter_us: int = 500,
+    loss: float = 0.0,
+    time_unit_us: int = DEFAULT_TIME_UNIT_US,
+) -> Network:
+    """Instantiate a simulated :class:`Network` from a topology."""
+    net = Network(seed=seed, time_unit_us=time_unit_us)
+    for node_id in graph.nodes:
+        net.add_node(node_id)
+    for a, b, delay_us in graph.edges:
+        net.add_link(
+            a, b, DelayModel(base_us=delay_us, jitter_us=jitter_us, loss=loss)
+        )
+    return net
+
+
+from repro.topology.brite import barabasi_albert, waxman  # noqa: E402
+from repro.topology.rocketfuel import rocketfuel_topology  # noqa: E402
+from repro.topology.traces import synth_tier1_trace  # noqa: E402
+
+__all__ = [
+    "TopologyGraph",
+    "barabasi_albert",
+    "rocketfuel_topology",
+    "synth_tier1_trace",
+    "to_network",
+    "waxman",
+]

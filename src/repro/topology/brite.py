@@ -1,0 +1,148 @@
+"""BRITE-style synthetic topology generators.
+
+The paper's scalability study (Section 5.3) uses graphs from the BRITE
+topology generator at sizes 20–80.  BRITE's two classic router-level
+models are reimplemented here:
+
+* :func:`waxman` -- nodes uniform on a plane, edge probability decaying
+  exponentially with distance (Waxman 1988):
+  ``P(u,v) = alpha * exp(-d(u,v) / (beta * L))``;
+* :func:`barabasi_albert` -- incremental growth with preferential
+  attachment (the heavy-tailed-degree model).
+
+Both guarantee connectivity (Waxman adds nearest-neighbor patch links if
+the random draw leaves components) and embed link delays geographically,
+as BRITE does.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Tuple
+
+from repro.topology import TopologyGraph
+
+US_PER_KM = 5.0
+PLANE_KM = (3_000.0, 3_000.0)
+
+
+def _delay_us(a: Tuple[float, float], b: Tuple[float, float]) -> int:
+    """Geographic delay plus a deterministic fiber-detour term keyed on the
+    endpoints, keeping link delays distinct (see
+    :func:`repro.topology.rocketfuel._delay_us` for why that matters)."""
+    detour = random.Random(f"detour|{a}|{b}").randrange(200, 900)
+    return max(300, int(math.hypot(a[0] - b[0], a[1] - b[1]) * US_PER_KM)) + detour
+
+
+def _place(n: int, rng: random.Random) -> Tuple[List[str], Dict[str, Tuple[float, float]]]:
+    nodes = [f"n{i:03d}" for i in range(n)]
+    coords = {
+        node: (rng.uniform(0, PLANE_KM[0]), rng.uniform(0, PLANE_KM[1]))
+        for node in nodes
+    }
+    return nodes, coords
+
+
+def _connect_components(
+    nodes: List[str],
+    coords: Dict[str, Tuple[float, float]],
+    edges: List[Tuple[str, str, int]],
+) -> None:
+    """Patch disconnected components with their closest cross-pair link."""
+    parent = {n: n for n in nodes}
+
+    def find(x: str) -> str:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a: str, b: str) -> None:
+        parent[find(a)] = find(b)
+
+    for a, b, _d in edges:
+        union(a, b)
+    while True:
+        roots = {find(n) for n in nodes}
+        if len(roots) == 1:
+            break
+        components: Dict[str, List[str]] = {}
+        for n in nodes:
+            components.setdefault(find(n), []).append(n)
+        comp_list = sorted(components.values(), key=len, reverse=True)
+        main, rest = comp_list[0], comp_list[1]
+        best = min(
+            ((a, b) for a in main for b in rest),
+            key=lambda ab: (_delay_us(coords[ab[0]], coords[ab[1]]), ab),
+        )
+        edges.append((best[0], best[1], _delay_us(coords[best[0]], coords[best[1]])))
+        union(best[0], best[1])
+
+
+def waxman(
+    n: int,
+    alpha: float = 0.15,
+    beta: float = 0.2,
+    seed: int = 0,
+) -> TopologyGraph:
+    """Waxman random graph with geographic delays.
+
+    BRITE's defaults are alpha=0.15, beta=0.2; larger alpha means denser,
+    larger beta reduces the distance penalty.
+    """
+    if n < 2:
+        raise ValueError("need at least two nodes")
+    rng = random.Random(f"waxman|{n}|{alpha}|{beta}|{seed}")
+    nodes, coords = _place(n, rng)
+    scale = math.hypot(*PLANE_KM)
+    edges: List[Tuple[str, str, int]] = []
+    for i, a in enumerate(nodes):
+        for b in nodes[i + 1:]:
+            d = math.hypot(
+                coords[a][0] - coords[b][0], coords[a][1] - coords[b][1]
+            )
+            if rng.random() < alpha * math.exp(-d / (beta * scale)):
+                edges.append((a, b, _delay_us(coords[a], coords[b])))
+    _connect_components(nodes, coords, edges)
+    return TopologyGraph(name=f"waxman-{n}", nodes=nodes, edges=edges)
+
+
+def barabasi_albert(n: int, m: int = 2, seed: int = 0) -> TopologyGraph:
+    """Barabási–Albert preferential attachment with geographic delays.
+
+    Starts from an ``m+1``-clique; each subsequent node attaches to ``m``
+    distinct existing nodes sampled with probability proportional to
+    degree.
+    """
+    if n < m + 1:
+        raise ValueError(f"need at least m+1={m + 1} nodes")
+    rng = random.Random(f"ba|{n}|{m}|{seed}")
+    nodes, coords = _place(n, rng)
+    edges: List[Tuple[str, str, int]] = []
+    degree: Dict[str, int] = {node: 0 for node in nodes}
+
+    def add_edge(a: str, b: str) -> None:
+        lo, hi = (a, b) if a <= b else (b, a)
+        edges.append((lo, hi, _delay_us(coords[a], coords[b])))
+        degree[a] += 1
+        degree[b] += 1
+
+    seedset = nodes[: m + 1]
+    for i, a in enumerate(seedset):
+        for b in seedset[i + 1:]:
+            add_edge(a, b)
+    for i in range(m + 1, n):
+        node = nodes[i]
+        existing = nodes[:i]
+        chosen: List[str] = []
+        weights = [degree[x] + 1 for x in existing]
+        while len(chosen) < m:
+            pick = rng.choices(existing, weights=weights, k=1)[0]
+            if pick not in chosen:
+                chosen.append(pick)
+        for other in chosen:
+            add_edge(node, other)
+    graph = TopologyGraph(name=f"ba-{n}", nodes=nodes, edges=edges)
+    assert graph.is_connected()
+    return graph

@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import load_topology, main
+
+
+class TestLoadTopology:
+    def test_rocketfuel_names(self):
+        assert load_topology("ebone", 0, 0).node_count() == 25
+
+    def test_synthetic_generators(self):
+        assert load_topology("waxman", 20, 1).node_count() == 20
+        assert load_topology("ba", 20, 1).node_count() == 20
+
+    def test_unknown_rejected(self):
+        with pytest.raises(SystemExit):
+            load_topology("arpanet", 10, 0)
+
+
+class TestCommands:
+    def test_production_vanilla(self, capsys):
+        rc = main([
+            "production", "--topology", "waxman", "--size", "10",
+            "--events", "2", "--mode", "vanilla", "--seed", "1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "production run (vanilla)" in out
+        assert "mean convergence" in out
+
+    def test_production_defined_writes_recording(self, tmp_path, capsys):
+        path = str(tmp_path / "run.recording.json")
+        rc = main([
+            "production", "--topology", "waxman", "--size", "10",
+            "--events", "2", "--mode", "defined", "--seed", "1",
+            "--recording-out", path,
+        ])
+        assert rc == 0
+        assert "recording written" in capsys.readouterr().out
+
+        rc = main([
+            "replay", "--topology", "waxman", "--size", "10",
+            "--recording", path,
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "lockstep replay" in out
+
+    def test_recording_out_requires_defined(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main([
+                "production", "--topology", "waxman", "--size", "10",
+                "--events", "2", "--mode", "vanilla",
+                "--recording-out", str(tmp_path / "x.json"),
+            ])
+
+    def test_casestudy_bgp(self, capsys):
+        rc = main(["casestudy", "bgp"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "XORP" in out and "best path" in out

@@ -1,0 +1,181 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simnet.engine import MS, SECOND, SimulationError, Simulator
+
+
+def test_constants():
+    assert MS == 1_000
+    assert SECOND == 1_000_000
+
+
+def test_schedule_and_run_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(30, fired.append, "c")
+    sim.schedule(10, fired.append, "a")
+    sim.schedule(20, fired.append, "b")
+    sim.drain()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == 30
+
+
+def test_equal_time_ties_fire_in_schedule_order():
+    sim = Simulator()
+    fired = []
+    for name in "abcde":
+        sim.schedule(50, fired.append, name)
+    sim.drain()
+    assert fired == list("abcde")
+
+
+def test_zero_delay_runs_after_current_instant_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10, fired.append, "first")
+
+    def schedule_more():
+        fired.append("second")
+        sim.schedule(0, fired.append, "third")
+
+    sim.schedule(10, schedule_more)
+    sim.drain()
+    assert fired == ["first", "second", "third"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1, lambda: None)
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(100, fired.append, "x")
+    sim.run(until_us=50)
+    assert fired == []
+    sim.run(until_us=150)
+    assert fired == ["x"]
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    sim.drain()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(5, lambda: None)
+
+
+def test_cancel_prevents_firing():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(10, fired.append, "x")
+    sim.schedule(5, handle.cancel)
+    sim.drain()
+    assert fired == []
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    handle = sim.schedule(10, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    assert sim.drain() == 0
+
+
+def test_run_until_advances_clock_even_when_queue_drains():
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    sim.run(until_us=500)
+    assert sim.now == 500
+
+
+def test_run_until_does_not_execute_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(100, fired.append, "late")
+    sim.run(until_us=50)
+    assert fired == []
+    assert sim.pending == 1
+
+
+def test_max_events_bound():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(i, fired.append, i)
+    executed = sim.run(max_events=3)
+    assert executed == 3
+    assert fired == [0, 1, 2]
+
+
+def test_step_returns_false_on_empty_queue():
+    sim = Simulator()
+    assert sim.step() is False
+
+
+def test_events_executed_counter():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(i, lambda: None)
+    sim.drain()
+    assert sim.events_executed == 5
+
+
+def test_reentrant_run_rejected():
+    sim = Simulator()
+
+    def reenter():
+        sim.run()
+
+    sim.schedule(1, reenter)
+    with pytest.raises(SimulationError):
+        sim.drain()
+
+
+def test_callbacks_can_schedule_new_events():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 5:
+            sim.schedule(10, chain, n + 1)
+
+    sim.schedule(0, chain, 0)
+    sim.drain()
+    assert fired == [0, 1, 2, 3, 4, 5]
+    assert sim.now == 50
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=50))
+def test_property_events_fire_in_nondecreasing_time_order(delays):
+    sim = Simulator()
+    fired_times = []
+    for d in delays:
+        sim.schedule(d, lambda: fired_times.append(sim.now))
+    sim.drain()
+    assert fired_times == sorted(fired_times)
+    assert len(fired_times) == len(delays)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=1000), st.integers()),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_property_same_schedule_same_execution(items):
+    def run_once():
+        sim = Simulator()
+        out = []
+        for delay, tag in items:
+            sim.schedule(delay, out.append, (sim.now, tag))
+        sim.drain()
+        return out
+
+    assert run_once() == run_once()

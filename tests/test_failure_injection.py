@@ -1,0 +1,93 @@
+"""Failure-injection tests: lossy links, mid-run failures, guard rails."""
+
+import pytest
+
+from conftest import flap_schedule, square_graph
+
+from repro.harness import build_ospf_network, run_production
+from repro.simnet.engine import SECOND
+from repro.simnet.events import EventSchedule, ExternalEvent
+from repro.topology import to_network
+
+
+class TestLossGuard:
+    def test_defined_mode_rejects_lossy_links(self, square):
+        net = to_network(square, loss=0.1)
+        with pytest.raises(ValueError, match="lossless"):
+            net.assert_lossless()
+
+    def test_build_defined_on_lossy_topology_fails_fast(self, square):
+        import repro.harness as H
+
+        original = H.to_network
+
+        def lossy(graph, seed=0, jitter_us=200, **kw):
+            return original(graph, seed=seed, jitter_us=jitter_us, loss=0.05)
+
+        H.to_network = lossy
+        try:
+            with pytest.raises(ValueError, match="lossless"):
+                build_ospf_network(square, mode="defined")
+            with pytest.raises(ValueError, match="lossless"):
+                build_ospf_network(square, mode="ddos")
+            # uninstrumented modes accept loss (real networks drop packets)
+            build_ospf_network(square, mode="vanilla")
+        finally:
+            H.to_network = original
+
+    def test_lossless_network_passes_guard(self, square):
+        to_network(square, loss=0.0).assert_lossless()
+
+
+class TestMidRunFailures:
+    def test_router_failure_during_convergence_storm(self, square):
+        """A node dies while an LSA flood is still circulating; the
+        instrumented network must keep making progress."""
+        schedule = EventSchedule()
+        schedule.add(
+            ExternalEvent(time_us=4_103_000, kind="link_down", target=("b", "c"))
+        )
+        # kill a router 40 ms into the resulting flood
+        schedule.add(ExternalEvent(time_us=4_143_000, kind="node_down", target="d"))
+        result = run_production(
+            square, schedule, mode="defined", seed=5,
+            measure_convergence=False, tail_us=6 * SECOND,
+        )
+        assert result.late_deliveries == 0
+        # the dead router's log is frozen; the others kept going
+        live_logs = [
+            len(result.logs[n]) for n in ("a", "b", "c")
+        ]
+        assert all(length > 0 for length in live_logs)
+
+    def test_leader_failure_mid_run_keeps_beaconing(self, square):
+        """Node 'a' is the beacon leader; killing it must not stop group
+        numbering (the modelled election hands over)."""
+        schedule = EventSchedule()
+        schedule.add(ExternalEvent(time_us=5_077_000, kind="node_down", target="a"))
+        result = run_production(
+            square, schedule, mode="defined", seed=2,
+            measure_convergence=False, tail_us=6 * SECOND,
+        )
+        survivors = [n for n in ("b", "c", "d")]
+        beacons = [
+            result.network.run_stats.node(n).beacons_received for n in survivors
+        ]
+        # beacons kept arriving well past the leader's death (>5 s worth)
+        assert all(count > 30 for count in beacons)
+
+    def test_double_fault_link_and_node(self, square):
+        schedule = EventSchedule()
+        schedule.add(
+            ExternalEvent(time_us=4_103_000, kind="link_down", target=("b", "d"))
+        )
+        schedule.add(ExternalEvent(time_us=6_211_000, kind="node_down", target="c"))
+        schedule.add(
+            ExternalEvent(time_us=9_423_000, kind="link_up", target=("b", "d"))
+        )
+        result = run_production(
+            square, schedule, mode="defined", seed=7,
+            measure_convergence=False, tail_us=5 * SECOND,
+        )
+        assert result.late_deliveries == 0
+        assert result.rollbacks >= 0  # completed without deadlock/livelock

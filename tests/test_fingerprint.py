@@ -1,0 +1,71 @@
+"""Unit tests for execution fingerprints."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.fingerprint import execution_fingerprint, first_divergence, logs_equal
+
+logs_strategy = st.dictionaries(
+    st.sampled_from(["a", "b", "c"]),
+    st.tuples(st.text(max_size=5), st.text(max_size=5)).map(tuple),
+    max_size=3,
+)
+
+
+class TestFingerprint:
+    def test_equal_logs_equal_fingerprint(self):
+        logs = {"a": ("x", "y"), "b": ("z",)}
+        assert execution_fingerprint(logs) == execution_fingerprint(dict(logs))
+
+    def test_node_order_does_not_matter(self):
+        a = {"a": ("x",), "b": ("y",)}
+        b = {"b": ("y",), "a": ("x",)}
+        assert execution_fingerprint(a) == execution_fingerprint(b)
+
+    def test_entry_order_matters(self):
+        assert execution_fingerprint({"a": ("x", "y")}) != execution_fingerprint(
+            {"a": ("y", "x")}
+        )
+
+    def test_entries_cannot_be_confused_across_nodes(self):
+        a = {"a": ("x",), "b": ()}
+        b = {"a": (), "b": ("x",)}
+        assert execution_fingerprint(a) != execution_fingerprint(b)
+
+    def test_concatenation_ambiguity_avoided(self):
+        assert execution_fingerprint({"a": ("xy",)}) != execution_fingerprint(
+            {"a": ("x", "y")}
+        )
+
+    @given(logs_strategy, logs_strategy)
+    def test_property_fingerprint_equality_iff_logs_equal(self, a, b):
+        # normalize: missing node vs empty log are the same execution
+        na = {k: v for k, v in a.items() if v}
+        nb = {k: v for k, v in b.items() if v}
+        assert (execution_fingerprint(na) == execution_fingerprint(nb)) == (na == nb)
+
+
+class TestDivergence:
+    def test_identical_logs_no_divergence(self):
+        logs = {"a": ("x",)}
+        assert first_divergence(logs, dict(logs)) is None
+        assert logs_equal(logs, dict(logs))
+
+    def test_reports_first_differing_entry(self):
+        a = {"n": ("x", "y", "z")}
+        b = {"n": ("x", "q", "z")}
+        assert first_divergence(a, b) == ("n", 1, "y", "q")
+
+    def test_prefix_divergence_uses_none(self):
+        a = {"n": ("x",)}
+        b = {"n": ("x", "y")}
+        assert first_divergence(a, b) == ("n", 1, None, "y")
+
+    def test_missing_node_treated_as_empty(self):
+        a = {"n": ("x",)}
+        assert first_divergence(a, {}) == ("n", 0, "x", None)
+
+    def test_scans_nodes_in_sorted_order(self):
+        a = {"b": ("x",), "a": ("y",)}
+        b = {"b": ("q",), "a": ("z",)}
+        node, _i, _ea, _eb = first_divergence(a, b)
+        assert node == "a"

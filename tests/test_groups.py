@@ -1,0 +1,102 @@
+"""Unit tests for beacons, group numbering and leader failover."""
+
+from repro.core.groups import BeaconService
+from repro.core.recorder import Recorder
+from repro.simnet.network import build_network
+from repro.simnet.node import VanillaStack
+
+
+def beacon_net():
+    net = build_network(
+        [("a", "b", 1_000), ("b", "c", 2_000)], jitter_us=0, time_unit_us=250_000
+    )
+    net.attach(lambda node: VanillaStack(node, timer_jitter_us=0))
+    return net
+
+
+class TestBeaconing:
+    def test_groups_strictly_increase(self):
+        net = beacon_net()
+        service = BeaconService(net)
+        service.start()
+        net.run(until_us=1_000_000)
+        assert service.group == 4
+
+    def test_every_node_receives_every_beacon(self):
+        net = beacon_net()
+        service = BeaconService(net)
+        service.start()
+        net.run(until_us=1_100_000)  # 4 ticks + propagation of the last one
+        for node_id in net.node_ids():
+            assert net.run_stats.node(node_id).beacons_received == 4
+
+    def test_uniform_arrival_instant(self):
+        """All nodes observe each beacon at the same simulated time."""
+        net = beacon_net()
+        arrivals = {}
+        for node_id, node in net.nodes.items():
+            original = node.deliver
+
+            def spy(msg, _nid=node_id, _orig=original):
+                if msg.protocol == "_beacon":
+                    arrivals.setdefault(msg.payload, set()).add(net.sim.now)
+                _orig(msg)
+
+            node.deliver = spy
+        BeaconService(net).start() or net.run(until_us=600_000)
+        assert arrivals, "no beacons observed"
+        for group, times in arrivals.items():
+            assert len(times) == 1
+
+    def test_stop_halts_beaconing(self):
+        net = beacon_net()
+        service = BeaconService(net)
+        service.start()
+        net.run(until_us=300_000)
+        service.stop()
+        net.run(until_us=2_000_000)
+        assert service.group == 1
+
+    def test_interval_override(self):
+        net = beacon_net()
+        service = BeaconService(net, interval_us=100_000)
+        service.start()
+        net.run(until_us=1_000_000)
+        assert service.group == 10
+
+    def test_recorder_horizon_tracks_groups(self):
+        net = beacon_net()
+        recorder = Recorder()
+        service = BeaconService(net, recorder=recorder)
+        service.start()
+        net.run(until_us=750_000)
+        assert recorder.recording().horizon_group == 3
+
+
+class TestLeaderElection:
+    def test_leader_is_smallest_live_node(self):
+        net = beacon_net()
+        service = BeaconService(net)
+        assert service.current_leader() == "a"
+        net.nodes["a"].set_up(False)
+        assert service.current_leader() == "b"
+
+    def test_beaconing_survives_leader_failure(self):
+        net = beacon_net()
+        service = BeaconService(net)
+        service.start()
+        net.run(until_us=500_000)
+        net.nodes["a"].set_up(False)
+        net.run(until_us=1_500_000)
+        assert service.group == 6  # counter kept increasing monotonically
+        # group 6's beacon is still propagating at the cutoff
+        assert net.run_stats.node("b").beacons_received == 5
+
+    def test_all_nodes_down_pauses_groups(self):
+        net = beacon_net()
+        service = BeaconService(net)
+        service.start()
+        for node in net.nodes.values():
+            node.set_up(False)
+        net.run(until_us=1_000_000)
+        assert service.group == 0

@@ -1,0 +1,82 @@
+"""Unit tests for link delay/jitter/loss models."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simnet.link import DelayModel, Link
+
+
+class TestDelayModel:
+    def test_avg_includes_half_jitter(self):
+        assert DelayModel(base_us=1000, jitter_us=400).avg_us == 1200
+
+    def test_zero_jitter_sampling_is_exact(self):
+        model = DelayModel(base_us=777, jitter_us=0)
+        assert model.sample_us(random.Random(1)) == 777
+
+    @given(st.integers(min_value=0, max_value=10**6), st.integers(min_value=0, max_value=10**5))
+    def test_property_samples_within_bounds(self, base, jitter):
+        model = DelayModel(base_us=base, jitter_us=jitter)
+        rng = random.Random(42)
+        for _ in range(20):
+            s = model.sample_us(rng)
+            assert base <= s <= base + jitter
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            DelayModel(base_us=-1)
+        with pytest.raises(ValueError):
+            DelayModel(jitter_us=-1)
+
+    def test_loss_bounds(self):
+        with pytest.raises(ValueError):
+            DelayModel(loss=1.0)
+        with pytest.raises(ValueError):
+            DelayModel(loss=-0.1)
+
+    def test_zero_loss_never_drops(self):
+        model = DelayModel(loss=0.0)
+        rng = random.Random(7)
+        assert not any(model.sample_loss(rng) for _ in range(100))
+
+    def test_loss_rate_roughly_matches(self):
+        model = DelayModel(loss=0.3)
+        rng = random.Random(7)
+        drops = sum(model.sample_loss(rng) for _ in range(5000))
+        assert 0.25 < drops / 5000 < 0.35
+
+
+class TestLink:
+    def test_self_link_rejected(self):
+        with pytest.raises(ValueError):
+            Link("a", "a")
+
+    def test_other_endpoint(self):
+        link = Link("a", "b")
+        assert link.other("a") == "b"
+        assert link.other("b") == "a"
+        with pytest.raises(ValueError):
+            link.other("c")
+
+    def test_link_id_is_order_independent(self):
+        assert Link("b", "a").link_id == Link("a", "b").link_id
+
+    def test_asymmetric_models(self):
+        fwd = DelayModel(base_us=100, jitter_us=0)
+        rev = DelayModel(base_us=900, jitter_us=0)
+        link = Link("a", "b", fwd, rev)
+        assert link.avg_delay_us("a") == 100
+        assert link.avg_delay_us("b") == 900
+
+    def test_symmetric_default(self):
+        link = Link("a", "b", DelayModel(base_us=300, jitter_us=0))
+        assert link.avg_delay_us("a") == link.avg_delay_us("b") == 300
+
+    def test_model_for_unknown_endpoint(self):
+        with pytest.raises(ValueError):
+            Link("a", "b").model_for("z")
+
+    def test_starts_up(self):
+        assert Link("a", "b").up

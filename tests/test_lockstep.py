@@ -1,0 +1,146 @@
+"""Behavioural tests for the DEFINED-LS lockstep coordinator and stack."""
+
+import pytest
+
+from conftest import flap_schedule, square_graph
+
+from repro.core.lockstep import LockstepCoordinator
+from repro.core.ordering import make_ordering
+from repro.harness import ospf_daemon_factory, run_production
+from repro.topology import to_network
+
+
+@pytest.fixture(scope="module")
+def production():
+    """One production run shared by the read-only lockstep tests."""
+    square = square_graph()
+    flap = flap_schedule(("b", "c"))
+    return square, run_production(square, flap, mode="defined", seed=3)
+
+
+def make_coordinator(square, recording, seed=77, loss=0.0):
+    net = to_network(square, seed=seed, jitter_us=300, loss=loss)
+    coordinator = LockstepCoordinator(net, recording, ordering=make_ordering("OO"))
+    coordinator.attach(ospf_daemon_factory(square))
+    coordinator.start()
+    return coordinator
+
+
+class TestPhaseMachinery:
+    def test_cycle_counting_and_group_progression(self, production):
+        square, prod = production
+        coordinator = make_coordinator(square, prod.recording)
+        assert coordinator.current_group == -1
+        coordinator.advance_cycle()
+        assert coordinator.current_group == 0
+        coordinator.run_group()
+        assert not coordinator.in_group
+        assert coordinator.current_group == 0
+
+    def test_groups_quiesce_with_zero_zero_cycle(self, production):
+        square, prod = production
+        coordinator = make_coordinator(square, prod.recording)
+        sent, processed = coordinator.advance_cycle()
+        assert processed > 0  # boot group has traffic
+        while coordinator.in_group:
+            sent, processed = coordinator.advance_cycle()
+        assert (sent, processed) == (0, 0)
+
+    def test_step_times_recorded(self, production):
+        square, prod = production
+        coordinator = make_coordinator(square, prod.recording)
+        for _ in range(5):
+            coordinator.advance_cycle()
+        times = coordinator.network.run_stats.step_times_us
+        assert len(times) == 5
+        assert all(t > 0 for t in times)
+
+    def test_finished_after_horizon(self, production):
+        square, prod = production
+        coordinator = make_coordinator(square, prod.recording)
+        coordinator.run_all()
+        assert coordinator.finished
+        assert coordinator.current_group == prod.recording.horizon_group
+
+    def test_advance_after_finished_is_noop(self, production):
+        square, prod = production
+        coordinator = make_coordinator(square, prod.recording)
+        coordinator.run_all()
+        assert coordinator.advance_cycle() == (0, 0)
+
+    def test_barrier_traffic_counted_as_control(self, production):
+        square, prod = production
+        coordinator = make_coordinator(square, prod.recording)
+        coordinator.advance_cycle()
+        stats = coordinator.network.run_stats
+        assert stats.total_control_packets() > 0
+
+
+class TestTopologyReplay:
+    def test_logical_link_state_follows_recording(self, production):
+        square, prod = production
+        coordinator = make_coordinator(square, prod.recording)
+        down_group = next(
+            e.group for e in prod.recording.events if e.kind == "link_down"
+        )
+        up_group = next(
+            e.group for e in prod.recording.events if e.kind == "link_up"
+        )
+        while coordinator.current_group < down_group:
+            coordinator.advance_cycle()
+        stack = coordinator.stacks["b"]
+        assert frozenset(("b", "c")) in stack.logical_down_links
+        assert "c" not in stack.neighbors()
+        while coordinator.current_group < up_group and not coordinator.finished:
+            coordinator.advance_cycle()
+        assert frozenset(("b", "c")) not in stack.logical_down_links
+
+    def test_physical_links_stay_up(self, production):
+        """Topology replay is logical; the debugging lab's wires stay on."""
+        square, prod = production
+        coordinator = make_coordinator(square, prod.recording)
+        coordinator.run_all()
+        for link in coordinator.network.links.values():
+            assert link.up
+
+
+class TestGroupLocalReexecution:
+    def test_rebase_checkpoint_preserves_modification(self, production):
+        square, prod = production
+        coordinator = make_coordinator(square, prod.recording)
+        coordinator.advance_cycle()
+        stack = coordinator.stacks["a"]
+        daemon = coordinator.network.nodes["a"].daemon
+        daemon.hello_count = 999
+        stack.rebase_checkpoint()
+        coordinator.run_group()
+        # a re-execution within the group must not wipe the modification
+        assert daemon.hello_count >= 999
+
+    def test_pending_inputs_sorted(self, production):
+        square, prod = production
+        coordinator = make_coordinator(square, prod.recording)
+        coordinator.advance_cycle()
+        for stack in coordinator.stacks.values():
+            entries = stack.pending_inputs()
+            keys = [e.key for e in entries]
+            assert keys == sorted(keys)
+
+
+class TestErrorHandling:
+    def test_empty_network_rejected(self, production):
+        _square, prod = production
+        from repro.simnet.network import Network
+
+        with pytest.raises(ValueError):
+            LockstepCoordinator(Network(), prod.recording)
+
+    def test_live_external_events_rejected(self, production):
+        square, prod = production
+        coordinator = make_coordinator(square, prod.recording)
+        from repro.simnet.events import ExternalEvent
+
+        with pytest.raises(RuntimeError, match="no live external events"):
+            coordinator.stacks["a"].on_external(
+                ExternalEvent(time_us=0, kind="link_down", target=("a", "b"))
+            )

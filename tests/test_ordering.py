@@ -1,0 +1,147 @@
+"""Property and unit tests for the ordering functions."""
+
+from hypothesis import given, strategies as st
+
+import pytest
+
+from repro.core.ordering import (
+    OptimizedOrdering,
+    RandomOrdering,
+    make_ordering,
+)
+from repro.simnet.messages import Annotation
+
+annotations = st.builds(
+    Annotation,
+    origin=st.sampled_from(["w", "x", "y", "z"]),
+    seq=st.integers(min_value=1, max_value=50),
+    delay_us=st.integers(min_value=1, max_value=100_000),
+    group=st.integers(min_value=0, max_value=5),
+    chain=st.integers(min_value=0, max_value=10),
+    sub=st.integers(min_value=0, max_value=20),
+)
+
+
+@pytest.fixture(params=["OO", "RO"])
+def ordering(request):
+    return make_ordering(request.param)
+
+
+class TestKeys:
+    @given(annotations)
+    def test_property_key_is_deterministic(self, a):
+        for name in ("OO", "RO"):
+            assert make_ordering(name).key(a) == make_ordering(name).key(a)
+
+    @given(st.lists(annotations, min_size=2, max_size=30, unique=True))
+    def test_property_sorting_is_permutation_invariant(self, anns):
+        for name in ("OO", "RO"):
+            fn = make_ordering(name)
+            forward = sorted(anns, key=fn.key)
+            backward = sorted(reversed(anns), key=fn.key)
+            assert [fn.key(a) for a in forward] == [fn.key(a) for a in backward]
+
+    @given(annotations, annotations)
+    def test_property_group_dominates(self, a, b):
+        for name in ("OO", "RO"):
+            fn = make_ordering(name)
+            if a.group < b.group:
+                assert fn.key(a) < fn.key(b)
+
+    def test_oo_orders_by_delay_within_group(self):
+        fn = OptimizedOrdering()
+        near = Annotation(origin="z", seq=9, delay_us=100, group=0)
+        far = Annotation(origin="a", seq=1, delay_us=200, group=0)
+        assert fn.key(near) < fn.key(far)
+
+    @given(annotations, st.integers(min_value=1, max_value=1000), st.integers(1, 5))
+    def test_property_causal_chains_sort_after_parents(self, parent, link, sub):
+        """Both orderings must be causally consistent: a message caused by
+        delivering `parent` sorts after `parent` (footnote 1)."""
+        child = parent.extended(link_delay_us=link, sub=sub, over_chain_bound=False)
+        for name in ("OO", "RO"):
+            fn = make_ordering(name)
+            assert fn.key(child) > fn.key(parent)
+
+    def test_ro_differs_from_oo_within_group(self):
+        anns = [
+            Annotation(origin=o, seq=s, delay_us=d, group=0, chain=0)
+            for o, s, d in [
+                ("w", 1, 100), ("x", 2, 200), ("y", 3, 300),
+                ("z", 4, 400), ("w", 5, 500), ("x", 6, 600),
+            ]
+        ]
+        oo = [a.origin + str(a.seq) for a in sorted(anns, key=OptimizedOrdering().key)]
+        ro = [a.origin + str(a.seq) for a in sorted(anns, key=RandomOrdering().key)]
+        assert oo != ro
+
+    def test_ro_salt_changes_permutation(self):
+        anns = [
+            Annotation(origin="w", seq=s, delay_us=1, group=0, chain=0, sub=s)
+            for s in range(12)
+        ]
+        p0 = sorted(anns, key=RandomOrdering(salt=0).key)
+        p1 = sorted(anns, key=RandomOrdering(salt=1).key)
+        assert p0 != p1
+
+
+class TestSpecialKeys:
+    def test_timer_sorts_before_all_messages_of_its_group(self, ordering):
+        timer = ordering.timer_key(group=3, node="n", seq=0)
+        msg = ordering.key(Annotation(origin="a", seq=1, delay_us=1, group=3))
+        prev = ordering.key(Annotation(origin="a", seq=1, delay_us=10**9, group=2))
+        assert prev < timer < msg
+
+    def test_external_sorts_after_timers_before_messages(self, ordering):
+        timer = ordering.timer_key(group=3, node="n", seq=5)
+        ext = ordering.external_key(group=3, node="n", seq=0)
+        msg = ordering.key(Annotation(origin="a", seq=1, delay_us=1, group=3))
+        assert timer < ext < msg
+
+    def test_timer_keys_ordered_by_creation_seq(self, ordering):
+        assert ordering.timer_key(1, "n", 0) < ordering.timer_key(1, "n", 1)
+
+    def test_external_keys_ordered_by_node_then_seq(self, ordering):
+        assert ordering.external_key(1, "a", 9) < ordering.external_key(1, "b", 0)
+
+
+class TestSenderDisambiguation:
+    """Regression: two distinct relays of one origination must never
+    collide on an ordering key (they did before keys carried the sender,
+    which silently dropped one of two same-key acknowledgements)."""
+
+    def _twins(self):
+        a = Annotation(origin="d", seq=2, delay_us=8_220, group=0, chain=2,
+                       sub=9, sender="a")
+        c = Annotation(origin="d", seq=2, delay_us=8_220, group=0, chain=2,
+                       sub=9, sender="c")
+        return a, c
+
+    def test_oo_keys_differ_for_different_senders(self):
+        a, c = self._twins()
+        assert OptimizedOrdering().key(a) != OptimizedOrdering().key(c)
+
+    def test_ro_keys_differ_for_different_senders(self):
+        a, c = self._twins()
+        assert RandomOrdering().key(a) != RandomOrdering().key(c)
+
+    def test_sort_key_includes_sender(self):
+        a, c = self._twins()
+        assert a.sort_key() != c.sort_key()
+
+    def test_extended_records_the_relaying_sender(self):
+        parent = Annotation(origin="d", seq=2, delay_us=100, group=0, sender="d")
+        child = parent.extended(link_delay_us=50, sub=1, over_chain_bound=False,
+                                sender="b")
+        assert child.sender == "b"
+        assert child.origin == "d"
+
+
+class TestFactory:
+    def test_factory_names(self):
+        assert make_ordering("oo").name == "OO"
+        assert make_ordering("RO").name == "RO"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_ordering("XX")

@@ -1,0 +1,90 @@
+"""Unit tests for the SPF (Dijkstra) implementation, cross-checked
+against networkx."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.routing.spf import dijkstra, expected_distances
+
+
+def simple_adjacency():
+    return {
+        "a": {"b": 1, "c": 4},
+        "b": {"a": 1, "c": 1, "d": 5},
+        "c": {"a": 4, "b": 1, "d": 1},
+        "d": {"b": 5, "c": 1},
+    }
+
+
+class TestDijkstra:
+    def test_distances(self):
+        dist, _ = dijkstra(simple_adjacency(), "a")
+        assert dist == {"a": 0, "b": 1, "c": 2, "d": 3}
+
+    def test_first_hops_follow_shortest_paths(self):
+        _, first = dijkstra(simple_adjacency(), "a")
+        assert first["a"] is None
+        assert first["b"] == "b"
+        assert first["c"] == "b"
+        assert first["d"] == "b"
+
+    def test_unreachable_nodes_absent(self):
+        adjacency = {"a": {"b": 1}, "b": {"a": 1}, "z": {}}
+        dist, _ = dijkstra(adjacency, "a")
+        assert "z" not in dist
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            dijkstra({"a": {"b": -1}, "b": {"a": -1}}, "a")
+
+    def test_deterministic_tie_break_by_first_hop(self):
+        # two equal-cost paths a-b-d and a-c-d: first hop must be 'b'
+        adjacency = {
+            "a": {"b": 1, "c": 1},
+            "b": {"a": 1, "d": 1},
+            "c": {"a": 1, "d": 1},
+            "d": {"b": 1, "c": 1},
+        }
+        _, first = dijkstra(adjacency, "a")
+        assert first["d"] == "b"
+
+    @settings(max_examples=40)
+    @given(st.integers(min_value=2, max_value=12), st.integers(0, 1000))
+    def test_property_distances_match_networkx(self, n, seed):
+        import random
+
+        rng = random.Random(seed)
+        graph = nx.gnm_random_graph(n, min(n * 2, n * (n - 1) // 2), seed=seed)
+        adjacency = {str(v): {} for v in graph.nodes}
+        for u, v in graph.edges:
+            w = rng.randint(1, 10)
+            adjacency[str(u)][str(v)] = w
+            adjacency[str(v)][str(u)] = w
+        dist, _ = dijkstra(adjacency, "0")
+        if not adjacency.get("0"):
+            assert dist == {"0": 0}
+            return
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(adjacency)
+        for u in adjacency:
+            for v, w in adjacency[u].items():
+                nx_graph.add_edge(u, v, weight=w)
+        expected = nx.single_source_dijkstra_path_length(nx_graph, "0")
+        assert dist == {k: int(v) for k, v in expected.items()}
+
+    def test_determinism_repeated_runs(self):
+        a = dijkstra(simple_adjacency(), "a")
+        b = dijkstra(simple_adjacency(), "a")
+        assert a == b
+
+
+class TestExpectedDistances:
+    def test_respects_link_state(self):
+        links = {("a", "b"): True, ("b", "c"): False}
+        dist = expected_distances(links, ["a", "b", "c"], "a")
+        assert dist == {"a": 0, "b": 1}
+
+    def test_custom_cost(self):
+        links = {("a", "b"): True}
+        assert expected_distances(links, ["a", "b"], "a", cost=7)["b"] == 7

@@ -1,0 +1,66 @@
+"""Theorem 2 (Termination): cascading rollbacks settle; the instrumented
+network always makes progress."""
+
+import pytest
+
+from conftest import flap_schedule, square_graph
+
+from repro.harness import run_production
+from repro.simnet.engine import SECOND
+from repro.simnet.events import EventSchedule, ExternalEvent
+
+
+class TestTermination:
+    @pytest.mark.parametrize("jitter_us", [500, 2_000, 4_000])
+    def test_adversarial_jitter_always_drains(self, square, square_flap, jitter_us):
+        """Heavy jitter maximizes misorderings and hence cascades; the run
+        must still complete (run_production drains every phase)."""
+        result = run_production(
+            square, square_flap, mode="defined", seed=13, jitter_us=jitter_us
+        )
+        assert result.unconverged_events == 0
+
+    def test_rollbacks_do_not_grow_without_bound(self, square):
+        """GVT progress in practice: steady-state (no events) produces a
+        bounded trickle of rollbacks, not an accumulating cascade."""
+        quiet = EventSchedule()  # no events at all; hellos + beacons only
+        result = run_production(
+            square, quiet, mode="defined", seed=3, jitter_us=2_000,
+            settle_us=2 * SECOND, tail_us=20 * SECOND,
+        )
+        deliveries = sum(
+            s.deliveries for s in result.network.run_stats.per_node.values()
+        )
+        assert deliveries > 0
+        # every rollback replays at least one entry; cascades that never
+        # settle would make rolled-back messages rival total deliveries
+        rolled = sum(
+            s.messages_rolled_back
+            for s in result.network.run_stats.per_node.values()
+        )
+        assert rolled < deliveries
+
+    def test_history_window_is_pruned(self, square, square_flap):
+        """The sliding window (Section 2.2) keeps per-node history bounded:
+        after a long run, live history is far smaller than deliveries."""
+        result = run_production(
+            square, square_flap, mode="defined", seed=3, tail_us=10 * SECOND
+        )
+        for node in result.network.nodes.values():
+            stack = node.stack
+            if node.stats.deliveries > 50:
+                assert stack.history.total_pruned > 0
+                assert len(stack.history) < node.stats.deliveries
+
+    def test_progress_under_event_bursts(self, square):
+        schedule = EventSchedule()
+        t = 4_000_000 + 103_000
+        for i in range(6):
+            kind = "link_down" if i % 2 == 0 else "link_up"
+            schedule.add(ExternalEvent(time_us=t, kind=kind, target=("b", "c")))
+            t += 700_000
+        result = run_production(
+            square, schedule, mode="defined", seed=5, measure_convergence=False,
+            tail_us=8 * SECOND,
+        )
+        assert result.late_deliveries == 0
