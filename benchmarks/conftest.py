@@ -7,34 +7,19 @@ figure-generation path, and every test *prints* the regenerated
 rows/series so the output can be compared against the paper (captured in
 EXPERIMENTS.md).
 
-Scale: the defaults reproduce every figure's *shape* in minutes.  Set
-``REPRO_BENCH_FULL=1`` for paper-scale workloads (the full Tier-1-style
-651-event trace, BRITE sweeps to 80 nodes); expect a long run.
+Workload knobs and plain helpers live in :mod:`_bench` (importable by
+name without colliding with ``tests/conftest.py``).
 """
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
+from _bench import EVENT_GAP_US, N_EVENTS
+
 from repro.harness import run_ls_replay, run_production
-from repro.simnet.engine import SECOND
 from repro.topology import rocketfuel_topology
 from repro.topology.traces import compressed_trace
-
-FULL = bool(int(os.environ.get("REPRO_BENCH_FULL", "0")))
-
-#: Workload sizes (events on the Rocketfuel topology, BRITE sweep sizes).
-N_EVENTS = 100 if FULL else 4
-SWEEP_SIZES = (20, 40, 60, 80) if FULL else (20, 40)
-EVENT_RATES = (2, 4, 6, 8, 10) if FULL else (2, 6, 10)
-EVENT_GAP_US = 8 * SECOND
-
-
-def emit(text: str) -> None:
-    """Print a figure block with spacing that survives pytest capture."""
-    print("\n" + text + "\n")
 
 
 @pytest.fixture(scope="session")

@@ -13,7 +13,7 @@ DESIGN.md calls out.
 
 import pytest
 
-from conftest import emit
+from _bench import emit
 
 from repro.analysis.metrics import mean
 from repro.analysis.report import render_series, render_table

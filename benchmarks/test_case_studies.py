@@ -1,7 +1,7 @@
 """Section 4 case studies as benchmarks: the end-to-end debugging stories,
 plus direct checks of the paper's two theorems."""
 
-from conftest import emit
+from _bench import emit
 
 from repro.analysis.report import render_table
 from repro.core.fingerprint import first_divergence

@@ -9,7 +9,7 @@ OSPF event trace.
 (c) DEFINED-LS per-step response time: interactive, below a second.
 """
 
-from conftest import emit
+from _bench import emit
 
 from repro.analysis.metrics import Cdf
 from repro.analysis.report import ascii_cdf, render_table

@@ -14,7 +14,7 @@ paper's single-node experiments.
 
 import pytest
 
-from conftest import emit
+from _bench import emit
 
 from repro.analysis.metrics import Cdf
 from repro.analysis.report import ascii_cdf, render_table

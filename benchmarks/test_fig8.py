@@ -10,7 +10,7 @@
 
 import pytest
 
-from conftest import EVENT_RATES, SWEEP_SIZES, emit
+from _bench import EVENT_RATES, SWEEP_SIZES, emit
 
 from repro.analysis.metrics import mean
 from repro.analysis.report import render_series

@@ -83,6 +83,27 @@ def ascii_cdf(
     return "\n".join(lines)
 
 
+def render_matrix(
+    title: str,
+    row_label: str,
+    col_labels: Sequence[str],
+    cells: Dict[str, Dict[str, str]],
+) -> str:
+    """A labelled grid (e.g. scenario x mode), one row per outer key.
+
+    ``cells`` maps row name -> column name -> display value; missing
+    entries render as ``-``.  Rows come out sorted so the same data always
+    renders identically (sweep reports are diffed across runs).
+    """
+    rows = []
+    for row_name in sorted(cells):
+        row = [row_name]
+        for col in col_labels:
+            row.append(cells[row_name].get(col, "-"))
+        rows.append(row)
+    return render_table(title, [row_label] + list(col_labels), rows)
+
+
 def _fmt(cell) -> str:
     if isinstance(cell, float):
         return f"{cell:.4g}"

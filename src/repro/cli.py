@@ -6,7 +6,8 @@ Usage (after ``pip install -e .``)::
         --mode defined --seed 1 --recording-out /tmp/run.recording.json
     python -m repro.cli replay --topology ebone \
         --recording /tmp/run.recording.json
-    python -m repro.cli sweep --sizes 20,40 --events 4
+    python -m repro.cli sweep --seeds 1,2,3 --workers 4
+    python -m repro.cli scale --sizes 20,40 --events 4
     python -m repro.cli casestudy bgp
     python -m repro.cli casestudy rip
 
@@ -110,6 +111,48 @@ def cmd_replay(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sweep import SweepRunner, get_scenario, scenario_names
+
+    if args.list:
+        rows = [
+            [name, ",".join(get_scenario(name).modes), get_scenario(name).description]
+            for name in scenario_names()
+        ]
+        print(render_table("registered scenarios", ["name", "modes", "description"], rows))
+        return 0
+    names = (
+        scenario_names() if args.scenarios == "all" else args.scenarios.split(",")
+    )
+    try:
+        seeds = [int(s) for s in args.seeds.split(",")]
+    except ValueError:
+        raise SystemExit(f"--seeds must be comma-separated integers, got {args.seeds!r}")
+    try:
+        runner = SweepRunner(
+            scenarios=names,
+            seeds=seeds,
+            modes=args.modes.split(",") if args.modes else None,
+            workers=args.workers,
+            repeats=args.repeats,
+        )
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(exc.args[0] if exc.args else str(exc))
+    print(
+        f"sweeping {len(runner.grid())} cells "
+        f"({len(names)} scenario(s) x {len(runner.seeds)} seed(s)) "
+        f"on {args.workers} worker(s)"
+    )
+
+    def progress(cell) -> None:
+        status = "ERROR " + cell.error if cell.error else "ok"
+        print(f"  {cell.scenario}/{cell.mode} seed={cell.seed}: {status}")
+
+    report = runner.run(progress=progress if args.verbose else None)
+    print(report.render())
+    return 0 if report.ok() else 1
+
+
+def cmd_scale(args: argparse.Namespace) -> int:
     sizes = [int(s) for s in args.sizes.split(",")]
     packets = {"XORP": [], "DEFINED-RB(OO)": []}
     convergence = {"XORP": [], "DEFINED-RB(OO)": []}
@@ -214,11 +257,30 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("--seed", type=int, default=1000)
     replay.set_defaults(func=cmd_replay)
 
-    sweep = sub.add_parser("sweep", help="size scalability sweep (Fig 8)")
-    sweep.add_argument("--sizes", default="20,40")
-    sweep.add_argument("--events", type=int, default=4)
-    sweep.add_argument("--seed", type=int, default=1)
+    sweep = sub.add_parser(
+        "sweep",
+        help="scenario x seed x mode determinism sweep (parallelizable)",
+    )
+    sweep.add_argument("--scenarios", default="all",
+                       help="comma-separated scenario names, or 'all'")
+    sweep.add_argument("--seeds", default="1,2,3")
+    sweep.add_argument("--modes", default=None,
+                       help="override per-scenario modes, e.g. vanilla,defined")
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="worker processes (each cell gets its own simulator)")
+    sweep.add_argument("--repeats", type=int, default=1,
+                       help="run each cell N times and cross-check fingerprints")
+    sweep.add_argument("--list", action="store_true",
+                       help="list registered scenarios and exit")
+    sweep.add_argument("--verbose", action="store_true",
+                       help="print each cell as it completes")
     sweep.set_defaults(func=cmd_sweep)
+
+    scale = sub.add_parser("scale", help="size scalability sweep (Fig 8)")
+    scale.add_argument("--sizes", default="20,40")
+    scale.add_argument("--events", type=int, default=4)
+    scale.add_argument("--seed", type=int, default=1)
+    scale.set_defaults(func=cmd_scale)
 
     case = sub.add_parser("casestudy", help="run a paper case study")
     case.add_argument("which", choices=["bgp", "rip"])

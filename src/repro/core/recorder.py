@@ -21,7 +21,7 @@ transport would otherwise deliver them.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, FrozenSet, List, Optional, Tuple
 
 from repro.simnet.events import ExternalEvent
@@ -255,6 +255,24 @@ class Recorder:
             )
         )
         self._topology_seq += 1
+
+    def retag_topology_event(self, kind: str, target: Any, group: int) -> None:
+        """Rewrite the group of the most recent network-level event
+        matching ``(kind, target)``.
+
+        The crash protocol needs this: the network logs the raw
+        ``node_down`` under the beacon service's current group, but the
+        dying shim then computes the *effective* death group (the first
+        group whose traffic was not yet closed at the crash instant, see
+        :meth:`DefinedShim.on_crash <repro.core.shim.DefinedShim.on_crash>`)
+        and retracts everything from there -- so the replay must
+        deactivate the node at that same group.
+        """
+        for i in range(len(self._events) - 1, -1, -1):
+            ev = self._events[i]
+            if ev.node == self.NET_NODE and ev.kind == kind and ev.target == target:
+                self._events[i] = replace(ev, group=group)
+                return
 
     def note_group(self, group: int) -> None:
         if group > self._horizon_group:

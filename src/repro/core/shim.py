@@ -106,6 +106,14 @@ class DefinedShim(Stack):
         #: is invisible to the sender's recording, so we hold them for the
         #: (sub-beacon-interval) boot window instead.
         self._prestart_buffer: list = []
+        #: Distinguishes the cold boot from a reboot (node_up after a
+        #: node_down): a rebooting node must rejoin at the *current*
+        #: group, not at virtual time 0.
+        self._booted_once = False
+        #: Arrival times of recent beacons (group -> sim time), kept for
+        #: the crash protocol's group-closure test; pruned alongside the
+        #: history window.
+        self._beacon_seen_at: dict = {}
         self._window_us: Optional[int] = None
         self._cost_rng: Optional[random.Random] = None
         #: Arrivals that sorted below an already-pruned entry; determinism
@@ -117,7 +125,22 @@ class DefinedShim(Stack):
     # lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:
-        """Boot (or reboot, after a node_up event) the shim and daemon."""
+        """Boot (or reboot, after a node_up event) the shim and daemon.
+
+        A cold boot starts at virtual time 0 (all origins boot into group
+        0 together).  A *reboot* performs the rejoin handshake first:
+        learn the current group number from the beacon service (modelled
+        as a deterministic query; a real deployment reads it off the next
+        beacon or any annotated packet) and boot into *that* group.
+        Booting at a stale virtual time would tag the boot traffic with a
+        long-closed group, making it unorderably late at every receiver
+        -- exactly the nondeterminism DEFINED exists to rule out.  The
+        node's ``node_up`` observation is recorded at the rejoin group,
+        and the lockstep replay reboots it at that same group
+        (``LockstepStack.start`` uses the coordinator's current group).
+        """
+        reboot = self._booted_once
+        self._booted_once = True
         self.vt = 0
         self.history = DeliveredHistory()
         self.timers = TimerTable()
@@ -128,12 +151,91 @@ class DefinedShim(Stack):
         self._current_entry = None
         self._send_delay_us = 0
         self._replaying = False
+        self._beacon_seen_at = {}
+        if reboot:
+            if self.recorder is not None and self.recorder.group_provider is not None:
+                self.vt = self.recorder.group_provider()
+            self._group_open_us = self.sim.now
         if self.daemon is not None:
             self.daemon.on_start()
         self._started = True
         buffered, self._prestart_buffer = self._prestart_buffer, []
         for msg in buffered:
             self.on_wire(msg)
+
+    def _closed_before(self) -> int:
+        """First group *not* provably complete at this node right now.
+
+        Group ``g`` is complete (closed) once the beacon opening ``g+1``
+        was observed at least one conservative hold ago -- the same bound
+        the stop-and-wait DDOS baseline uses: worst-case propagation plus
+        a chain allowance -- so no group-``g`` message can still be in
+        flight toward us.  Anything from the returned group onward may
+        have unseen traffic pending.
+        """
+        hold_us = self.node.network.max_propagation_us() + 100_000
+        cutoff = self.vt  # the current group is never closed
+        while cutoff > 0:
+            opened = self._beacon_seen_at.get(cutoff)
+            if opened is not None and self.sim.now - opened >= hold_us:
+                break  # group cutoff-1 is closed
+            cutoff -= 1
+        return cutoff
+
+    def on_crash(self) -> None:
+        """Quantize a fail-stop to a closed group boundary.
+
+        The recording (and therefore the lockstep replay) kills a node at
+        the granularity of a group: the replayed node processes *none* of
+        the groups from its recorded ``node_down`` onward, and *all* of
+        every earlier group.  Physically, though, the daemon dies
+        mid-group: it has processed part of the open groups' traffic --
+        and possibly answered it -- while more of that traffic is still
+        in flight.  The shim interposes in user space and outlives the
+        daemon, so it closes the gap the same way a rollback would: it
+        retracts every delivery from the first non-closed group onward
+        (truncating the execution log back to that boundary) and
+        anti-messages everything those deliveries emitted.  It then
+        retags the recorded ``node_down`` with that group, so the replay
+        deactivates the node at exactly the retraction boundary -- which
+        is what makes crash scenarios reproduce bit-for-bit even when
+        the crash lands next to a group boundary with flood traffic in
+        flight.
+        """
+        if not self._started:
+            return
+        cutoff = self._closed_before()
+        if self.recorder is not None:
+            self.recorder.retag_topology_event(
+                "node_down", self.node.node_id, cutoff
+            )
+        index = None
+        for i, entry in enumerate(self.history.entries):
+            if entry.group >= cutoff:
+                index = i
+                break
+        if index is None:
+            return
+        rolled = self.history.truncate_from(index)
+        base = rolled[0]
+        if base.log_index >= 0:
+            del self.delivery_log[base.log_index:]
+        plan = collect_unsends(rolled)
+        network = self.node.network
+        for dst in sorted(plan):
+            self.node.stats.unsends_sent += 1
+            network.transmit_deterministic(
+                Message(
+                    src=self.node.node_id,
+                    dst=dst,
+                    protocol="_unsend",
+                    payload=Unsend(uids=tuple(plan[dst])),
+                    size_bytes=16 + 8 * len(plan[dst]),
+                ),
+                network.avg_link_delay_us(self.node.node_id, dst),
+            )
+        # no restore, no replay: the daemon is dead; only the observable
+        # side effects needed retracting
 
     # ------------------------------------------------------------------
     # app-facing API
@@ -281,6 +383,10 @@ class DefinedShim(Stack):
             return
         self.vt = group
         self._group_open_us = self.sim.now
+        self._beacon_seen_at[group] = self.sim.now
+        if len(self._beacon_seen_at) > 16:
+            for stale in [g for g in self._beacon_seen_at if g < group - 8]:
+                del self._beacon_seen_at[stale]
         self._fire_due_timers()
         self._drain_future()
         self._prune_window()

@@ -349,6 +349,16 @@ def run_ls_replay(
     )
 
 
+def flappable_links(graph: TopologyGraph) -> List[Tuple[str, str]]:
+    """Links whose endpoints both keep another adjacency when it drops --
+    the eligibility rule shared by every flap-workload generator."""
+    degree: Dict[str, int] = {}
+    for a, b, _d in graph.edges:
+        degree[a] = degree.get(a, 0) + 1
+        degree[b] = degree.get(b, 0) + 1
+    return [(a, b) for a, b, _d in graph.edges if degree[a] >= 2 and degree[b] >= 2]
+
+
 def burst_schedule(
     graph: TopologyGraph,
     events_per_second: int,
@@ -360,13 +370,7 @@ def burst_schedule(
     import random as _random
 
     rng = _random.Random(f"burst|{graph.name}|{events_per_second}|{seed}")
-    degree: Dict[str, int] = {}
-    for a, b, _d in graph.edges:
-        degree[a] = degree.get(a, 0) + 1
-        degree[b] = degree.get(b, 0) + 1
-    eligible = [
-        (a, b) for a, b, _d in graph.edges if degree[a] >= 2 and degree[b] >= 2
-    ]
+    eligible = flappable_links(graph)
     if not eligible:
         raise ValueError("no flappable links")
     gap = SECOND // events_per_second

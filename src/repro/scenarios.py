@@ -273,3 +273,68 @@ def quagga_rip_scenario(
     )
     daemon = result.network.nodes["R1"].daemon
     return RipOutcome(route_via=daemon.route_via(RIP_DEST), result=result)
+
+
+# ----------------------------------------------------------------------
+# sweep registrations: the builtin scenario set
+# ----------------------------------------------------------------------
+#
+# Importing this module populates the sweep registry with the paper's two
+# case studies plus the parameterized fault-injection family, so the CLI
+# (``repro sweep``) and worker processes all see the same catalogue.
+
+from repro import sweep as _sweep  # noqa: E402  (registration, see below)
+
+
+def _bgp_sweep_schedule(graph: TopologyGraph, seed: int) -> EventSchedule:
+    del graph, seed  # the Figure 4 race is fixed; the cell seed varies jitter
+    return bgp_schedule()
+
+
+def _bgp_expect(result) -> bool:
+    best = result.network.nodes["R3"].daemon.best_path_id(BGP_PREFIX)
+    return best in BGP_PATHS
+
+
+def _rip_sweep_schedule(graph: TopologyGraph, seed: int) -> EventSchedule:
+    del graph, seed
+    return rip_schedule()
+
+
+def _rip_blackhole_expect(result) -> bool:
+    # blackhole config + buggy matcher: the dead main keeps being
+    # refreshed, in every mode -- the paper's deterministic failure.
+    return result.network.nodes["R1"].daemon.route_via(RIP_DEST) == RIP_MAIN
+
+
+_sweep.register(_sweep.Scenario(
+    name="xorp-bgp-med",
+    description="Figure 4: XORP 0.4 BGP MED ordering race (buggy decision)",
+    topology=lambda seed: bgp_topology(),
+    schedule=_bgp_sweep_schedule,
+    daemon=lambda graph: bgp_daemon_factory("buggy"),
+    expect=_bgp_expect,
+    jitter_us=1_500,
+    settle_us=SECOND // 2,
+    tail_us=3 * SECOND,
+))
+
+_sweep.register(_sweep.Scenario(
+    name="quagga-rip-blackhole",
+    description="Figure 5: Quagga RIP timer-refresh bug, permanent-blackhole config",
+    topology=lambda seed: rip_topology(),
+    schedule=_rip_sweep_schedule,
+    daemon=lambda graph: rip_daemon_factory(
+        "buggy", RIP_BLACKHOLE_BACKUP_INTERVAL
+    ),
+    expect=_rip_blackhole_expect,
+    jitter_us=1_500,
+    settle_us=SECOND // 2,
+    tail_us=20 * SECOND - RIP_DEATH_US,
+))
+
+_sweep.register(_sweep.flap_storm_scenario())
+_sweep.register(_sweep.crash_restart_scenario())
+_sweep.register(_sweep.partition_scenario())
+_sweep.register(_sweep.latency_jitter_scenario())
+_sweep.register(_sweep.ddos_overload_scenario())

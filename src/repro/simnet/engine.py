@@ -31,10 +31,13 @@ class EventHandle:
     """A cancellable reference to a scheduled event.
 
     Handles are returned by :meth:`Simulator.schedule`.  Cancellation is
-    lazy: the entry stays in the heap but is skipped when popped.
+    lazy: the entry stays in the heap but is skipped when popped.  The
+    owning simulator counts cancellations so it can compact the heap when
+    dead entries pile up (routing daemons reset timers constantly, which
+    would otherwise bloat long runs).
     """
 
-    __slots__ = ("time_us", "seq", "callback", "args", "cancelled", "label")
+    __slots__ = ("time_us", "seq", "callback", "args", "cancelled", "label", "_sim")
 
     def __init__(
         self,
@@ -43,6 +46,7 @@ class EventHandle:
         callback: Callable[..., None],
         args: tuple,
         label: str = "",
+        sim: Optional["Simulator"] = None,
     ) -> None:
         self.time_us = time_us
         self.seq = seq
@@ -50,12 +54,18 @@ class EventHandle:
         self.args = args
         self.cancelled = False
         self.label = label
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
         self.callback = None
         self.args = ()
+        sim, self._sim = self._sim, None
+        if sim is not None:
+            sim._note_cancelled()
 
     def __lt__(self, other: "EventHandle") -> bool:
         return (self.time_us, self.seq) < (other.time_us, other.seq)
@@ -81,10 +91,18 @@ class Simulator:
     * ``sim.now`` never moves backwards.
     """
 
+    #: Cancelled-entry compaction threshold: the heap is rebuilt (dropping
+    #: dead entries) once at least this many cancellations are queued *and*
+    #: they outnumber the live entries.  The amortized cost is O(1) per
+    #: cancellation while memory stays within 2x the live event count.
+    COMPACT_MIN_CANCELLED = 64
+
     def __init__(self) -> None:
         self._now = 0
         self._seq = 0
         self._queue: List[EventHandle] = []
+        self._cancelled_in_queue = 0
+        self._compactions = 0
         self._events_executed = 0
         self._running = False
 
@@ -100,8 +118,34 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of queue entries, including lazily-cancelled ones."""
+        """Number of *live* (non-cancelled) events still queued."""
+        return len(self._queue) - self._cancelled_in_queue
+
+    @property
+    def queue_size(self) -> int:
+        """Raw queue length, including lazily-cancelled entries."""
         return len(self._queue)
+
+    @property
+    def compactions(self) -> int:
+        """How many times the heap has been compacted (observability)."""
+        return self._compactions
+
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`EventHandle.cancel` for handles still queued."""
+        self._cancelled_in_queue += 1
+        if (
+            self._cancelled_in_queue >= self.COMPACT_MIN_CANCELLED
+            and self._cancelled_in_queue * 2 >= len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without the lazily-cancelled entries."""
+        self._queue = [h for h in self._queue if not h.cancelled]
+        heapq.heapify(self._queue)
+        self._cancelled_in_queue = 0
+        self._compactions += 1
 
     def schedule(
         self,
@@ -117,7 +161,9 @@ class Simulator:
         """
         if delay_us < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay_us})")
-        handle = EventHandle(self._now + delay_us, self._seq, callback, args, label)
+        handle = EventHandle(
+            self._now + delay_us, self._seq, callback, args, label, sim=self
+        )
         self._seq += 1
         heapq.heappush(self._queue, handle)
         return handle
@@ -144,12 +190,14 @@ class Simulator:
         while self._queue:
             handle = heapq.heappop(self._queue)
             if handle.cancelled:
+                self._cancelled_in_queue -= 1
                 continue
             if handle.time_us < self._now:
                 raise SimulationError("event queue corrupted: time went backwards")
             self._now = handle.time_us
             callback, args = handle.callback, handle.args
             handle.callback, handle.args = None, ()
+            handle._sim = None  # fired: a later cancel() must not count
             self._events_executed += 1
             assert callback is not None
             callback(*args)
@@ -178,6 +226,7 @@ class Simulator:
                 head = self._queue[0]
                 if head.cancelled:
                     heapq.heappop(self._queue)
+                    self._cancelled_in_queue -= 1
                     continue
                 if until_us is not None and head.time_us > until_us:
                     break

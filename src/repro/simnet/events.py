@@ -100,3 +100,33 @@ class EventSchedule:
     def horizon_us(self) -> int:
         """Time of the last event, or 0 for an empty schedule."""
         return max((e.time_us for e in self.events), default=0)
+
+    # -- scenario-composition hooks -----------------------------------
+    # Fault-injection generators build small schedules independently and
+    # the sweep subsystem composes them; these helpers keep composition
+    # deterministic (no in-place aliasing surprises).
+
+    def merged(self, *others: "EventSchedule") -> "EventSchedule":
+        """A new schedule containing this one's events plus ``others``'."""
+        out = EventSchedule(events=list(self.events))
+        for other in others:
+            out.events.extend(other.events)
+        return out
+
+    def shifted(self, offset_us: int) -> "EventSchedule":
+        """A new schedule with every event moved by ``offset_us``."""
+        out = EventSchedule()
+        for event in self.events:
+            out.add(
+                ExternalEvent(
+                    time_us=event.time_us + offset_us,
+                    kind=event.kind,
+                    target=event.target,
+                    data=event.data,
+                )
+            )
+        return out
+
+    def kinds(self) -> Tuple[str, ...]:
+        """Distinct event kinds present, sorted (for reports and tests)."""
+        return tuple(sorted({e.kind for e in self.events}))

@@ -359,6 +359,8 @@ class Network:
                 self.nodes[end].observe_external(event)
         elif event.kind in (NODE_DOWN, NODE_UP):
             node = self.nodes[event.target]
+            if event.kind == NODE_DOWN and node.up and node.stack is not None:
+                node.stack.on_crash()
             node.set_up(event.kind == NODE_UP)
             if event.kind == NODE_UP:
                 node.start()

@@ -107,6 +107,15 @@ class Stack(abc.ABC):
     def on_external(self, event: ExternalEvent) -> None:
         """An external event was observed at this node."""
 
+    def on_crash(self) -> None:
+        """The node is about to fail-stop (``node_down``).
+
+        Called while the node is still up, immediately before liveness
+        flips.  The default is a true fail-stop (no goodbye); stacks that
+        survive their daemon (the DEFINED shim interposes in user space)
+        may use it to quantize the observable death to a deterministic
+        boundary."""
+
     # ------------------------------------------------------------------
     # shared helpers
     # ------------------------------------------------------------------

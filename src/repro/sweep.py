@@ -1,0 +1,738 @@
+"""Scenario-sweep subsystem: diverse failure environments, checked in bulk.
+
+The paper's evaluation runs one recorded workload through the vanilla,
+DEFINED-RB and DEFINED-LS stacks and compares bit-for-bit fingerprints.
+This module scales that methodology from two hand-built case studies to a
+whole *grid*:
+
+* a :class:`Scenario` descriptor bundles everything one failure
+  environment needs -- a topology factory, an external-event schedule
+  factory, an optional daemon factory and an expected-outcome predicate
+  -- with every random choice derived from the cell's seed, so a grid
+  cell is a pure function of ``(scenario, seed, mode)``;
+* a registry (:func:`register` / :func:`get_scenario`) names scenarios so
+  grid cells stay picklable and the CLI can address them;
+* a family of parameterized fault-injection generators synthesizes
+  link-flap storms, node crash/restarts, network partitions,
+  link-latency jitter and DDoS-overload variants (the last built on the
+  stop-and-wait :mod:`repro.baselines.ddos` stack);
+* :class:`SweepRunner` shards the scenario x seed x mode grid across
+  cores with :class:`concurrent.futures.ProcessPoolExecutor` -- each
+  worker builds its own :class:`~repro.simnet.engine.Simulator`, so
+  per-run determinism is untouched -- and aggregates a
+  divergence/determinism report, verifying the Theorem-1 invariant
+  (``replay.fingerprint == defined.fingerprint``) for every DEFINED cell.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.report import render_matrix, render_table
+from repro.harness import (
+    ProductionResult,
+    burst_schedule,
+    flappable_links,
+    run_ls_replay,
+    run_production,
+)
+from repro.simnet.engine import SECOND
+from repro.simnet.events import (
+    LINK_DOWN,
+    LINK_UP,
+    NODE_DOWN,
+    NODE_UP,
+    EventSchedule,
+    ExternalEvent,
+)
+from repro.topology import TopologyGraph, waxman
+
+TopologyFactory = Callable[[int], TopologyGraph]
+ScheduleFactory = Callable[[TopologyGraph, int], EventSchedule]
+DaemonBuilder = Callable[[TopologyGraph], Optional[Callable]]
+ExpectPredicate = Callable[[ProductionResult], bool]
+
+#: Modes a scenario runs in by default.  ``defined`` cells additionally
+#: run a DEFINED-LS replay and check the Theorem-1 invariant.
+DEFAULT_MODES: Tuple[str, ...] = ("vanilla", "defined")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One reproducible failure environment.
+
+    Everything is a factory taking the cell seed, so the same descriptor
+    yields a *family* of concrete environments -- same failure shape,
+    different topologies/timings -- while each cell stays a deterministic
+    function of its seed.
+    """
+
+    name: str
+    description: str
+    topology: TopologyFactory
+    schedule: ScheduleFactory
+    #: Builds a per-node daemon factory for a concrete topology; ``None``
+    #: falls back to the harness's OSPF daemon.
+    daemon: Optional[DaemonBuilder] = None
+    #: Scenario-level sanity predicate over the finished run (outcome
+    #: shape, not determinism -- the runner checks determinism itself).
+    expect: Optional[ExpectPredicate] = None
+    modes: Tuple[str, ...] = DEFAULT_MODES
+    jitter_us: int = 200
+    ordering: str = "OO"
+    settle_us: int = 3 * SECOND
+    tail_us: int = 2 * SECOND
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+
+_REGISTRY: Dict[str, Scenario] = {}
+_BUILTINS_LOADED = False
+_BUILTIN_NAMES: frozenset = frozenset()
+
+
+def register(scenario: Scenario, replace: bool = False) -> Scenario:
+    """Add a scenario to the global registry (idempotent per name)."""
+    if scenario.name in _REGISTRY and not replace:
+        existing = _REGISTRY[scenario.name]
+        if existing is not scenario:
+            raise ValueError(f"scenario {scenario.name!r} already registered")
+        return existing
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def unregister(name: str) -> None:
+    _REGISTRY.pop(name, None)
+
+
+def _ensure_builtins() -> None:
+    """Importing :mod:`repro.scenarios` registers the builtin scenario
+    set (case studies + fault-injection family) exactly once."""
+    global _BUILTINS_LOADED, _BUILTIN_NAMES
+    if not _BUILTINS_LOADED:
+        import repro.scenarios  # noqa: F401  (import-time registration)
+
+        _BUILTINS_LOADED = True
+        _BUILTIN_NAMES = frozenset(_REGISTRY)
+
+
+def get_scenario(name: str) -> Scenario:
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; registered: {scenario_names()}"
+        ) from None
+
+
+def scenario_names() -> List[str]:
+    _ensure_builtins()
+    return sorted(_REGISTRY)
+
+
+# ----------------------------------------------------------------------
+# fault-injection generators (each a deterministic function of its seed)
+# ----------------------------------------------------------------------
+
+def _rng(tag: str, seed: int) -> random.Random:
+    return random.Random(f"sweep|{tag}|{seed}")
+
+
+def flap_storm_schedule(
+    graph: TopologyGraph,
+    seed: int,
+    n_flaps: int = 4,
+    start_us: int = 4 * SECOND + 97_000,
+    min_hold_us: int = SECOND // 2,
+    max_hold_us: int = 3 * SECOND,
+    gap_us: int = SECOND + 217_000,
+) -> EventSchedule:
+    """A storm of independent link flaps; every link heals by the end."""
+    rng = _rng(f"flap|{graph.name}", seed)
+    links = flappable_links(graph)
+    if not links:
+        raise ValueError(f"topology {graph.name} has no flappable links")
+    schedule = EventSchedule()
+    t = start_us
+    for _ in range(n_flaps):
+        link = links[rng.randrange(len(links))]
+        hold = rng.randrange(min_hold_us, max_hold_us)
+        schedule.add(ExternalEvent(time_us=t, kind=LINK_DOWN, target=link))
+        schedule.add(ExternalEvent(time_us=t + hold, kind=LINK_UP, target=link))
+        t += gap_us + rng.randrange(0, 311_000)
+    return schedule
+
+
+def crash_restart_schedule(
+    graph: TopologyGraph,
+    seed: int,
+    n_crashes: int = 1,
+    start_us: int = 4 * SECOND + 211_000,
+    down_for_us: int = 3 * SECOND,
+    gap_us: int = 5 * SECOND,
+) -> EventSchedule:
+    """Routers die and come back: a ``node_down`` / ``node_up`` cycle per
+    victim, victims drawn deterministically from the seed."""
+    rng = _rng(f"crash|{graph.name}", seed)
+    nodes = sorted(graph.nodes)
+    schedule = EventSchedule()
+    t = start_us
+    for _ in range(n_crashes):
+        victim = nodes[rng.randrange(len(nodes))]
+        schedule.add(ExternalEvent(time_us=t, kind=NODE_DOWN, target=victim))
+        schedule.add(
+            ExternalEvent(time_us=t + down_for_us, kind=NODE_UP, target=victim)
+        )
+        t += gap_us + rng.randrange(0, 293_000)
+    return schedule
+
+
+def partition_schedule(
+    graph: TopologyGraph,
+    seed: int,
+    at_us: int = 4 * SECOND + 157_000,
+    heal_after_us: int = 4 * SECOND,
+) -> EventSchedule:
+    """Cut the network into two halves, then heal it.
+
+    A random bipartition (seed-derived) selects one side; every crossing
+    link goes down at ``at_us`` and comes back ``heal_after_us`` later.
+    """
+    rng = _rng(f"partition|{graph.name}", seed)
+    nodes = sorted(graph.nodes)
+    if len(nodes) < 2:
+        raise ValueError("cannot partition fewer than two nodes")
+    side_size = rng.randrange(1, len(nodes))
+    side = set(rng.sample(nodes, side_size))
+    crossing = [
+        (a, b) for a, b, _d in graph.edges if (a in side) != (b in side)
+    ]
+    schedule = EventSchedule()
+    for link in crossing:
+        schedule.add(ExternalEvent(time_us=at_us, kind=LINK_DOWN, target=link))
+        schedule.add(
+            ExternalEvent(time_us=at_us + heal_after_us, kind=LINK_UP, target=link)
+        )
+    return schedule
+
+
+def ddos_overload_schedule(
+    graph: TopologyGraph,
+    seed: int,
+    events_per_second: int = 8,
+    n_events: int = 10,
+    start_us: int = 4 * SECOND,
+) -> EventSchedule:
+    """An event-rate overload: a fixed-rate link-flap burst far above the
+    normal workload, the regime where stop-and-wait delivery (the DDOS
+    baseline stack) pays its worst-case holds."""
+    return burst_schedule(
+        graph, events_per_second, n_events, start_us=start_us, seed=seed
+    )
+
+
+# ----------------------------------------------------------------------
+# builtin scenario families
+# ----------------------------------------------------------------------
+
+def _waxman_topology(tag: str, n: int) -> TopologyFactory:
+    """Seed-varied Waxman graphs: each cell seed gets its own topology."""
+
+    def factory(seed: int) -> TopologyGraph:
+        graph = waxman(n, seed=1000 + seed)
+        return TopologyGraph(
+            name=f"{tag}-{graph.name}-s{seed}",
+            nodes=graph.nodes,
+            edges=graph.edges,
+        )
+
+    return factory
+
+
+def _diamond_topology(seed: int) -> TopologyGraph:
+    """The fixed four-node diamond used by the determinism tests."""
+    del seed
+    return TopologyGraph(
+        name="diamond",
+        nodes=["a", "b", "c", "d"],
+        edges=[
+            ("a", "b", 2_000),
+            ("b", "c", 3_000),
+            ("c", "d", 2_500),
+            ("a", "d", 4_000),
+            ("b", "d", 3_500),
+        ],
+    )
+
+
+def flap_storm_scenario(
+    name: str = "flap-storm",
+    nodes: int = 8,
+    n_flaps: int = 4,
+) -> Scenario:
+    return Scenario(
+        name=name,
+        description=f"{n_flaps} randomized link flaps on a {nodes}-node Waxman graph",
+        topology=_waxman_topology(name, nodes),
+        schedule=lambda graph, seed: flap_storm_schedule(graph, seed, n_flaps=n_flaps),
+        expect=_expect_all_links_healed,
+        tail_us=3 * SECOND,
+    )
+
+
+def crash_restart_scenario(
+    name: str = "crash-restart",
+    nodes: int = 6,
+    n_crashes: int = 1,
+) -> Scenario:
+    return Scenario(
+        name=name,
+        description=f"{n_crashes} router crash/restart cycle(s) on a {nodes}-node Waxman graph",
+        topology=_waxman_topology(name, nodes),
+        schedule=lambda graph, seed: crash_restart_schedule(
+            graph, seed, n_crashes=n_crashes
+        ),
+        expect=_expect_all_nodes_up,
+        tail_us=3 * SECOND,
+    )
+
+
+def partition_scenario(
+    name: str = "partition",
+    nodes: int = 8,
+) -> Scenario:
+    return Scenario(
+        name=name,
+        description=f"random bipartition + heal on a {nodes}-node Waxman graph",
+        topology=_waxman_topology(name, nodes),
+        schedule=partition_schedule,
+        expect=_expect_all_links_healed,
+        tail_us=3 * SECOND,
+    )
+
+
+def latency_jitter_scenario(
+    name: str = "latency-jitter",
+    jitter_us: int = 2_500,
+) -> Scenario:
+    """Heavy per-packet link jitter: stresses the delay-sensitive ordering
+    into actual rollbacks while determinism must still hold."""
+    return Scenario(
+        name=name,
+        description=f"link flap under {jitter_us}us per-packet latency jitter",
+        topology=_diamond_topology,
+        schedule=lambda graph, seed: flap_storm_schedule(
+            graph, seed, n_flaps=2, min_hold_us=2 * SECOND, max_hold_us=4 * SECOND
+        ),
+        jitter_us=jitter_us,
+        tail_us=3 * SECOND,
+    )
+
+
+def ddos_overload_scenario(
+    name: str = "ddos-overload",
+    events_per_second: int = 8,
+    n_events: int = 8,
+) -> Scenario:
+    """Event-rate overload, also run through the stop-and-wait DDOS
+    baseline stack (:mod:`repro.baselines.ddos`) to contrast blocking
+    determinism with DEFINED-RB's speculation under load."""
+    return Scenario(
+        name=name,
+        description=(
+            f"{events_per_second}/s link-event burst; includes the DDOS "
+            "stop-and-wait baseline mode"
+        ),
+        topology=_diamond_topology,
+        schedule=lambda graph, seed: ddos_overload_schedule(
+            graph, seed, events_per_second=events_per_second, n_events=n_events
+        ),
+        expect=_expect_all_links_healed,
+        modes=("vanilla", "defined", "ddos"),
+        tail_us=4 * SECOND,
+    )
+
+
+def _expect_all_links_healed(result: ProductionResult) -> bool:
+    return all(link.up for link in result.network.links.values())
+
+
+def _expect_all_nodes_up(result: ProductionResult) -> bool:
+    return all(node.up for node in result.network.nodes.values())
+
+
+# ----------------------------------------------------------------------
+# grid cells and the worker (module-level, so it pickles)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One point of the grid: a pure function of these three fields
+    (plus ``repeat``, which only disambiguates re-executions)."""
+
+    scenario: str
+    seed: int
+    mode: str
+    repeat: int = 0
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """The picklable outcome of one grid cell."""
+
+    scenario: str
+    seed: int
+    mode: str
+    repeat: int = 0
+    fingerprint: str = ""
+    replay_fingerprint: Optional[str] = None
+    #: Theorem-1 check (``defined`` cells only): replay == production.
+    invariant_ok: Optional[bool] = None
+    #: Scenario-level expected-outcome predicate, when one is declared.
+    expected_ok: Optional[bool] = None
+    #: Deterministic-delivery check for instrumented modes: no ordering
+    #: misses slipped through (late deliveries are rollback-repaired in
+    #: ``defined`` mode, so they must net out to zero only for ``ddos``).
+    late_deliveries: int = 0
+    rollbacks: int = 0
+    deliveries: int = 0
+    recording_bytes: Optional[int] = None
+    wall_seconds: float = 0.0
+    error: Optional[str] = None
+
+    @property
+    def key(self) -> Tuple[str, int, str]:
+        return (self.scenario, self.seed, self.mode)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.error is None
+            and self.invariant_ok is not False
+            and self.expected_ok is not False
+        )
+
+
+def run_cell(cell: SweepCell) -> CellResult:
+    """Execute one grid cell in the current process.
+
+    Builds a fresh topology, schedule and :class:`Simulator` from the
+    cell's seed, runs the production network, and -- for ``defined``
+    cells -- replays the partial recording through DEFINED-LS and checks
+    the Theorem-1 invariant.  Never raises: failures come back as
+    ``error`` so one bad cell cannot sink a whole sweep.
+    """
+    _ensure_builtins()
+    start = time.perf_counter()
+    try:
+        scenario = get_scenario(cell.scenario)
+        graph = scenario.topology(cell.seed)
+        schedule = scenario.schedule(graph, cell.seed)
+        daemon_factory = scenario.daemon(graph) if scenario.daemon else None
+        result = run_production(
+            graph,
+            schedule,
+            mode=cell.mode,
+            seed=cell.seed,
+            jitter_us=scenario.jitter_us,
+            ordering=scenario.ordering,
+            daemon_factory=daemon_factory,
+            measure_convergence=False,
+            settle_us=scenario.settle_us,
+            tail_us=scenario.tail_us,
+        )
+        replay_fp: Optional[str] = None
+        invariant: Optional[bool] = None
+        recording_bytes: Optional[int] = None
+        if cell.mode == "defined":
+            assert result.recording is not None
+            recording_bytes = result.recording.size_bytes()
+            replay = run_ls_replay(
+                graph,
+                result.recording,
+                ordering=scenario.ordering,
+                daemon_factory=daemon_factory,
+            )
+            replay_fp = replay.fingerprint
+            invariant = replay_fp == result.fingerprint
+        expected = scenario.expect(result) if scenario.expect else None
+        return CellResult(
+            scenario=cell.scenario,
+            seed=cell.seed,
+            mode=cell.mode,
+            repeat=cell.repeat,
+            fingerprint=result.fingerprint,
+            replay_fingerprint=replay_fp,
+            invariant_ok=invariant,
+            expected_ok=expected,
+            late_deliveries=result.late_deliveries,
+            rollbacks=result.rollbacks,
+            deliveries=sum(len(log) for log in result.logs.values()),
+            recording_bytes=recording_bytes,
+            wall_seconds=time.perf_counter() - start,
+        )
+    except Exception as exc:  # pragma: no cover - exercised via error cells
+        return CellResult(
+            scenario=cell.scenario,
+            seed=cell.seed,
+            mode=cell.mode,
+            repeat=cell.repeat,
+            wall_seconds=time.perf_counter() - start,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+
+
+# ----------------------------------------------------------------------
+# the runner and its report
+# ----------------------------------------------------------------------
+
+@dataclass
+class SweepReport:
+    """Aggregated sweep results plus the determinism verdicts."""
+
+    cells: List[CellResult]
+    seeds: Tuple[int, ...]
+    workers: int
+    repeats: int
+    wall_seconds: float = 0.0
+
+    # -- verdicts ------------------------------------------------------
+    def errors(self) -> List[CellResult]:
+        return [c for c in self.cells if c.error is not None]
+
+    def invariant_violations(self) -> List[CellResult]:
+        """DEFINED cells where the replay diverged from production."""
+        return [c for c in self.cells if c.invariant_ok is False]
+
+    def expectation_failures(self) -> List[CellResult]:
+        return [c for c in self.cells if c.expected_ok is False]
+
+    def ordering_misses(self) -> List[CellResult]:
+        """Instrumented cells that delivered out of deterministic order.
+        ``defined`` repairs late arrivals by rollback, so only ``ddos``
+        (which cannot roll back) counts here."""
+        return [
+            c for c in self.cells if c.mode == "ddos" and c.late_deliveries > 0
+        ]
+
+    def repeat_mismatches(self) -> List[Tuple[str, int, str]]:
+        """Grid cells whose re-executions disagreed (determinism breach)."""
+        seen: Dict[Tuple[str, int, str], str] = {}
+        bad = []
+        for c in self.cells:
+            if c.error is not None:
+                continue
+            prior = seen.setdefault(c.key, c.fingerprint)
+            if prior != c.fingerprint and c.key not in bad:
+                bad.append(c.key)
+        return bad
+
+    def ok(self) -> bool:
+        return not (
+            self.errors()
+            or self.invariant_violations()
+            or self.expectation_failures()
+            or self.ordering_misses()
+            or self.repeat_mismatches()
+        )
+
+    # -- aggregation ---------------------------------------------------
+    def fingerprint_index(self) -> Dict[Tuple[str, int, str, int], str]:
+        """(scenario, seed, mode, repeat) -> fingerprint, for equivalence
+        checks between serial and parallel executions."""
+        return {
+            (c.scenario, c.seed, c.mode, c.repeat): c.fingerprint
+            for c in self.cells
+        }
+
+    def scenario_names(self) -> List[str]:
+        return sorted({c.scenario for c in self.cells})
+
+    def modes(self) -> List[str]:
+        order = {"vanilla": 0, "defined": 1, "ddos": 2, "logging": 3}
+        return sorted({c.mode for c in self.cells}, key=lambda m: (order.get(m, 9), m))
+
+    def distinct_fingerprints(self, scenario: str, mode: str) -> int:
+        fps = {
+            c.fingerprint
+            for c in self.cells
+            if c.scenario == scenario and c.mode == mode and c.error is None
+        }
+        return len(fps)
+
+    def _group(self, scenario: str, mode: str) -> List[CellResult]:
+        return [c for c in self.cells if c.scenario == scenario and c.mode == mode]
+
+    # -- rendering -----------------------------------------------------
+    def summary_rows(self) -> List[List]:
+        rows = []
+        for scenario in self.scenario_names():
+            for mode in self.modes():
+                group = self._group(scenario, mode)
+                if not group:
+                    continue
+                errors = sum(1 for c in group if c.error is not None)
+                invariant = [c for c in group if c.invariant_ok is not None]
+                rows.append([
+                    scenario,
+                    mode,
+                    len(group),
+                    self.distinct_fingerprints(scenario, mode),
+                    ("-" if not invariant
+                     else f"{sum(1 for c in invariant if c.invariant_ok)}/{len(invariant)}"),
+                    sum(c.rollbacks for c in group),
+                    sum(c.late_deliveries for c in group),
+                    errors,
+                    sum(c.wall_seconds for c in group),
+                ])
+        return rows
+
+    def render(self) -> str:
+        parts = [
+            render_table(
+                "scenario sweep: divergence / determinism",
+                ["scenario", "mode", "cells", "fingerprints",
+                 "theorem1", "rollbacks", "late", "errors", "wall (s)"],
+                self.summary_rows(),
+            )
+        ]
+        matrix = {
+            scenario: {
+                mode: (str(self.distinct_fingerprints(scenario, mode))
+                       if self._group(scenario, mode) else "-")
+                for mode in self.modes()
+            }
+            for scenario in self.scenario_names()
+        }
+        parts.append("")
+        parts.append(render_matrix(
+            f"distinct fingerprints across {len(self.seeds)} seed(s) "
+            f"x {self.repeats} repeat(s)  [defined: 1 per seed == deterministic]",
+            "scenario",
+            self.modes(),
+            matrix,
+        ))
+        verdict = []
+        for label, items in [
+            ("errors", self.errors()),
+            ("Theorem-1 violations", self.invariant_violations()),
+            ("expectation failures", self.expectation_failures()),
+            ("ordering misses (ddos)", self.ordering_misses()),
+            ("repeat mismatches", self.repeat_mismatches()),
+        ]:
+            if items:
+                verdict.append(f"{label}: {len(items)}")
+        parts.append("")
+        parts.append(
+            f"grid: {len(self.cells)} cells, {self.workers} worker(s), "
+            f"{self.wall_seconds:.2f}s wall"
+        )
+        parts.append(
+            "verdict: OK -- every DEFINED cell reproduced bit-for-bit"
+            if self.ok()
+            else "verdict: FAILED -- " + "; ".join(verdict)
+        )
+        return "\n".join(parts)
+
+
+class SweepRunner:
+    """Shard a scenario x seed x mode grid across worker processes.
+
+    ``workers=1`` runs everything inline (same process, deterministic
+    order); ``workers>1`` fans cells out to a process pool.  Either way
+    the result list is ordered by the grid, so two runs of the same grid
+    are comparable cell by cell.
+    """
+
+    def __init__(
+        self,
+        scenarios: Optional[Sequence[str]] = None,
+        seeds: Sequence[int] = (1, 2, 3),
+        modes: Optional[Sequence[str]] = None,
+        workers: int = 1,
+        repeats: int = 1,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if repeats < 1:
+            raise ValueError("repeats must be >= 1")
+        self.scenario_names = (
+            list(scenarios) if scenarios is not None else scenario_names()
+        )
+        for name in self.scenario_names:
+            get_scenario(name)  # fail fast on unknown names
+        self.seeds = tuple(seeds)
+        self.modes = tuple(modes) if modes is not None else None
+        self.workers = workers
+        self.repeats = repeats
+
+    def _worker_context(self):
+        """Multiprocessing context for the pool.
+
+        Workers rebuild the registry by importing :mod:`repro.scenarios`,
+        which only covers the builtin catalogue -- scenarios registered at
+        runtime by the caller exist solely in this process.  A forked
+        worker inherits them; a spawned/forkserver worker does not (the
+        default on macOS/Windows, and on Linux from Python 3.14).  Prefer
+        fork where available; otherwise runtime-registered scenarios
+        cannot cross the process boundary, so fail loudly instead of
+        erroring on every cell.
+        """
+        import multiprocessing
+
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:
+            custom = sorted(set(self.scenario_names) - _BUILTIN_NAMES)
+            if custom:
+                raise ValueError(
+                    f"scenarios {custom} are registered at runtime and cannot "
+                    "reach spawn-based worker processes; run with workers=1 or "
+                    "register them at import time in repro.scenarios"
+                )
+            return None
+
+    def grid(self) -> List[SweepCell]:
+        cells = []
+        for name in self.scenario_names:
+            scenario = get_scenario(name)
+            modes = self.modes if self.modes is not None else scenario.modes
+            for seed in self.seeds:
+                for mode in modes:
+                    for repeat in range(self.repeats):
+                        cells.append(SweepCell(name, seed, mode, repeat))
+        return cells
+
+    def run(self, progress: Optional[Callable[[CellResult], None]] = None) -> SweepReport:
+        cells = self.grid()
+        start = time.perf_counter()
+        results: List[CellResult] = []
+        if self.workers == 1:
+            for cell in cells:
+                result = run_cell(cell)
+                if progress is not None:
+                    progress(result)
+                results.append(result)
+        else:
+            with ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=self._worker_context()
+            ) as pool:
+                for result in pool.map(run_cell, cells):
+                    if progress is not None:
+                        progress(result)
+                    results.append(result)
+        return SweepReport(
+            cells=results,
+            seeds=self.seeds,
+            workers=self.workers,
+            repeats=self.repeats,
+            wall_seconds=time.perf_counter() - start,
+        )

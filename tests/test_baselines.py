@@ -1,6 +1,6 @@
 """Tests for the DDOS stop-and-wait and comprehensive-logging baselines."""
 
-from conftest import flap_schedule, square_graph
+from _fixtures import flap_schedule, square_graph
 
 from repro.analysis.metrics import mean
 from repro.baselines.logging_replay import log_volume_comparison

@@ -4,7 +4,7 @@ import itertools
 
 import pytest
 
-from conftest import FakeStack
+from _fixtures import FakeStack
 
 from repro.routing.bgp import (
     BgpPath,

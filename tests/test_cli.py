@@ -60,3 +60,24 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "XORP" in out and "best path" in out
+
+    def test_sweep_list(self, capsys):
+        rc = main(["sweep", "--list"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "flap-storm" in out and "xorp-bgp-med" in out
+
+    def test_sweep_small_grid(self, capsys):
+        rc = main([
+            "sweep", "--scenarios", "xorp-bgp-med,latency-jitter",
+            "--seeds", "1,2", "--workers", "1", "--verbose",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "verdict: OK" in out
+        assert "theorem1" in out
+
+    def test_scale_sweep_still_works(self, capsys):
+        rc = main(["scale", "--sizes", "12", "--events", "2"])
+        assert rc == 0
+        assert "convergence time" in capsys.readouterr().out

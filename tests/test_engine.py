@@ -151,6 +151,83 @@ def test_callbacks_can_schedule_new_events():
     assert sim.now == 50
 
 
+class TestCancelCompaction:
+    def test_pending_reports_live_events_only(self):
+        sim = Simulator()
+        handles = [sim.schedule(10 + i, lambda: None) for i in range(10)]
+        for handle in handles[:4]:
+            handle.cancel()
+        assert sim.pending == 6
+        assert sim.queue_size == 10
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        keep = sim.schedule(5, lambda: None)
+        victim = sim.schedule(10, lambda: None)
+        victim.cancel()
+        victim.cancel()
+        assert sim.pending == 1
+        del keep
+
+    def test_cancel_after_firing_does_not_corrupt_pending(self):
+        sim = Simulator()
+        fired = sim.schedule(1, lambda: None)
+        sim.schedule(10, lambda: None)
+        sim.run(max_events=1)
+        fired.cancel()  # too late: already executed
+        assert sim.pending == 1
+
+    def test_heavy_cancellation_compacts_queue(self):
+        """Timer-churn pattern: schedule/cancel far more entries than ever
+        fire.  The heap must not retain the dead entries."""
+        sim = Simulator()
+        sim.schedule(10_000, lambda: None)
+        for i in range(1_000):
+            sim.schedule(100 + i, lambda: None).cancel()
+        assert sim.compactions > 0
+        assert sim.queue_size < 2 * Simulator.COMPACT_MIN_CANCELLED
+        assert sim.pending == 1
+
+    def test_compaction_preserves_execution_order(self):
+        sim = Simulator()
+        fired = []
+        keepers = {}
+        for i in range(500):
+            handle = sim.schedule(i + 1, fired.append, i)
+            if i % 25 == 0:
+                keepers[i] = handle
+            else:
+                handle.cancel()
+        sim.drain()
+        assert fired == sorted(keepers)
+        assert sim.pending == 0
+
+    def test_cancel_inside_callback_during_run(self):
+        sim = Simulator()
+        fired = []
+        doomed = [sim.schedule(50 + i, fired.append, f"d{i}") for i in range(100)]
+
+        def cancel_all():
+            for handle in doomed:
+                handle.cancel()
+
+        sim.schedule(10, cancel_all)
+        sim.schedule(200, fired.append, "survivor")
+        sim.drain()
+        assert fired == ["survivor"]
+        assert sim.pending == 0
+
+    def test_pending_drops_as_cancelled_entries_are_popped(self):
+        sim = Simulator()
+        a = sim.schedule(10, lambda: None)
+        sim.schedule(20, lambda: None)
+        a.cancel()
+        assert sim.pending == 1
+        sim.drain()
+        assert sim.pending == 0
+        assert sim.queue_size == 0
+
+
 @given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=50))
 def test_property_events_fire_in_nondecreasing_time_order(delays):
     sim = Simulator()

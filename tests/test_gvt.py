@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import flap_schedule, square_graph
+from _fixtures import flap_schedule, square_graph
 
 from repro.core.gvt import GvtTracker
 from repro.harness import build_ospf_network

@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import flap_schedule, square_graph
+from _fixtures import flap_schedule, square_graph
 
 from repro.core.lockstep import LockstepCoordinator
 from repro.core.ordering import make_ordering

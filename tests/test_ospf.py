@@ -1,6 +1,6 @@
 """Unit tests for the OSPF daemon (link-state protocol)."""
 
-from conftest import FakeStack, line_graph, square_graph
+from _fixtures import FakeStack, line_graph, square_graph
 
 from repro.harness import ospf_daemon_factory, run_production
 from repro.routing.ospf import PROTO_ACK, PROTO_HELLO, PROTO_LSA, OspfDaemon
@@ -206,7 +206,7 @@ class TestForwardDelay:
 class TestConvergenceEndToEnd:
     def test_vanilla_network_converges_after_flap(self):
         graph = square_graph()
-        from conftest import flap_schedule
+        from _fixtures import flap_schedule
 
         result = run_production(
             graph, flap_schedule(("b", "c")), mode="vanilla", seed=0

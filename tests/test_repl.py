@@ -4,7 +4,7 @@ import io
 
 import pytest
 
-from conftest import flap_schedule, square_graph
+from _fixtures import flap_schedule, square_graph
 
 from repro.core.debugger import Debugger
 from repro.core.lockstep import LockstepCoordinator

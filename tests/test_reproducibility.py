@@ -11,7 +11,7 @@
 
 import pytest
 
-from conftest import flap_schedule, line_graph, square_graph
+from _fixtures import flap_schedule, line_graph, square_graph
 
 from repro.core.fingerprint import first_divergence
 from repro.core.recorder import Recording

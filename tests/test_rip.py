@@ -2,7 +2,7 @@
 
 import pytest
 
-from conftest import FakeStack
+from _fixtures import FakeStack
 
 from repro.routing.rip import (
     BuggyQuaggaRip,

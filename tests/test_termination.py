@@ -3,7 +3,7 @@ network always makes progress."""
 
 import pytest
 
-from conftest import flap_schedule, square_graph
+from _fixtures import flap_schedule, square_graph
 
 from repro.harness import run_production
 from repro.simnet.engine import SECOND
