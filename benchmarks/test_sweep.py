@@ -23,7 +23,12 @@ from repro.analysis.report import render_table
 from repro.sweep import SweepRunner
 
 SEEDS = (1, 2, 3, 4, 5) if FULL else (1, 2)
-SCENARIOS = None if FULL else ["latency-jitter", "xorp-bgp-med", "quagga-rip-blackhole"]
+SCENARIOS = None if FULL else [
+    "latency-jitter", "xorp-bgp-med", "quagga-rip-blackhole",
+    # one composed and one boundary-jittered scenario, so the bench grid
+    # exercises the dynamic-resolution path end to end
+    "latency-jitter+ddos-overload", "latency-jitter~j1us",
+]
 PARALLEL_WORKERS = min(4, max(2, (os.cpu_count() or 1)))
 
 
@@ -83,6 +88,31 @@ def test_sweep_parallel_speedup(serial_report, parallel_report):
     # on a multi-core box the pool must not be pathologically slower;
     # even on one core the overhead should stay within ~4x for this grid
     assert speedup > 0.25
+
+
+def test_fuzz_grid_throughput(benchmark):
+    """Time one boundary-jitter fuzz pass (snap + jitter + Theorem-1
+    verification per cell) on a smoke-sized grid."""
+    from repro.sweep import FuzzRunner
+
+    jitters = (0, 1, 2, 5) if FULL else (0, 1)
+
+    def run_once():
+        return FuzzRunner(
+            scenarios=["latency-jitter"], seeds=(1,), jitters_us=jitters
+        ).run()
+
+    report = benchmark.pedantic(run_once, rounds=3, iterations=1)
+    assert report.ok(), report.render()
+    emit(render_table(
+        "boundary-jitter fuzz throughput",
+        ["metric", "value"],
+        [
+            ["grid cells", len(report.cells)],
+            ["wall seconds per pass", report.wall_seconds],
+            ["cells per second", len(report.cells) / max(report.wall_seconds, 1e-9)],
+        ],
+    ))
 
 
 def test_sweep_theorem1_holds_across_grid(serial_report):

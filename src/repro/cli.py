@@ -7,6 +7,10 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli replay --topology ebone \
         --recording /tmp/run.recording.json
     python -m repro.cli sweep --seeds 1,2,3 --workers 4
+    python -m repro.cli sweep --compose flap_storm+partition \
+        --boundary-jitter-us 1 --seeds 8
+    python -m repro.cli fuzz --scenarios flap-storm,partition \
+        --seeds 1,2 --jitters-us 0,1 --report-out /tmp/fuzz.json
     python -m repro.cli scale --sizes 20,40 --events 4
     python -m repro.cli casestudy bgp
     python -m repro.cli casestudy rip
@@ -110,6 +114,13 @@ def cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_int_list(text: str, flag: str) -> List[int]:
+    try:
+        return [int(s) for s in text.split(",")]
+    except ValueError:
+        raise SystemExit(f"{flag} must be comma-separated integers, got {text!r}")
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.sweep import SweepRunner, get_scenario, scenario_names
 
@@ -120,13 +131,39 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         ]
         print(render_table("registered scenarios", ["name", "modes", "description"], rows))
         return 0
-    names = (
-        scenario_names() if args.scenarios == "all" else args.scenarios.split(",")
-    )
-    try:
-        seeds = [int(s) for s in args.seeds.split(",")]
-    except ValueError:
-        raise SystemExit(f"--seeds must be comma-separated integers, got {args.seeds!r}")
+    # --scenarios picks registered names; --compose adds on-the-fly
+    # compositions ("a+b"); with --compose alone, only the compositions
+    # run (an explicit --scenarios all still sweeps the whole catalogue
+    # alongside them).  --boundary-jitter-us N wraps every selected
+    # scenario in the boundary-jitter fuzzer (the "~jNus" dynamic variant).
+    names: List[str] = []
+    if args.scenarios == "all":
+        names = scenario_names()
+    elif args.scenarios is None and not args.compose:
+        names = scenario_names()
+    elif args.scenarios:
+        names = args.scenarios.split(",")
+    if args.compose:
+        names.extend(spec.strip() for spec in args.compose.split(","))
+    # a compose spec may duplicate a registered composition (or another
+    # spec, or an underscore alias of either): one canonical name, one
+    # set of grid cells
+    from repro.sweep import canonical_scenario_name
+
+    names = list(dict.fromkeys(canonical_scenario_name(n) for n in names))
+    if args.boundary_jitter_us is not None:
+        if args.boundary_jitter_us < 0:
+            raise SystemExit("--boundary-jitter-us cannot be negative")
+        from repro.sweep import _parse_fuzz_name
+
+        # re-jitter already-jittered names at the requested magnitude and
+        # dedupe: with --scenarios all, 'flap-storm' and the registered
+        # 'flap-storm~j1us' must not become the same grid cell twice
+        names = list(dict.fromkeys(
+            f"{_parse_fuzz_name(name)[0]}~j{args.boundary_jitter_us}us"
+            for name in names
+        ))
+    seeds = _parse_int_list(args.seeds, "--seeds")
     try:
         runner = SweepRunner(
             scenarios=names,
@@ -149,6 +186,45 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
     report = runner.run(progress=progress if args.verbose else None)
     print(report.render())
+    return 0 if report.ok() else 1
+
+
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.sweep import FuzzRunner
+
+    scenarios = (
+        None if args.scenarios == "all" else
+        [s.strip() for s in args.scenarios.split(",")]
+    )
+    try:
+        runner = FuzzRunner(
+            scenarios=scenarios,
+            seeds=_parse_int_list(args.seeds, "--seeds"),
+            jitters_us=_parse_int_list(args.jitters_us, "--jitters-us"),
+            mode=args.mode,
+            workers=args.workers,
+            minimize=not args.no_minimize,
+        )
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(exc.args[0] if exc.args else str(exc))
+    print(
+        f"fuzzing {len(runner.base_scenarios)} scenario(s) x "
+        f"{len(runner.seeds)} seed(s) x jitters {list(runner.jitters_us)}us "
+        f"in {args.mode} mode on {args.workers} worker(s)"
+    )
+
+    def progress(cell) -> None:
+        status = "ERROR " + cell.error if cell.error else "ok"
+        print(f"  {cell.scenario} seed={cell.seed}: {status}")
+
+    report = runner.run(progress=progress if args.verbose else None)
+    print(report.render())
+    if args.report_out:
+        with open(args.report_out, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+        print(f"\ndivergence report written to {args.report_out}")
     return 0 if report.ok() else 1
 
 
@@ -261,8 +337,17 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep",
         help="scenario x seed x mode determinism sweep (parallelizable)",
     )
-    sweep.add_argument("--scenarios", default="all",
-                       help="comma-separated scenario names, or 'all'")
+    sweep.add_argument("--scenarios", default=None,
+                       help="comma-separated scenario names, or 'all' "
+                            "(default: all, unless --compose is given alone)")
+    sweep.add_argument("--compose", default=None, metavar="A+B[,C+D]",
+                       help="compose registered scenarios on the fly and "
+                            "sweep the compositions (e.g. flap_storm+partition)")
+    sweep.add_argument("--boundary-jitter-us", type=int, default=None,
+                       metavar="N",
+                       help="wrap every selected scenario in the boundary-"
+                            "jitter fuzzer: events snapped to beacon-group "
+                            "boundaries +/- N us of seed-derived jitter")
     sweep.add_argument("--seeds", default="1,2,3")
     sweep.add_argument("--modes", default=None,
                        help="override per-scenario modes, e.g. vanilla,defined")
@@ -275,6 +360,32 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--verbose", action="store_true",
                        help="print each cell as it completes")
     sweep.set_defaults(func=cmd_sweep)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="boundary-jitter fuzzing: jittered seed-sweeps with "
+             "divergence minimization",
+    )
+    fuzz.add_argument("--scenarios", default="all",
+                      help="comma-separated scenario names (compositions "
+                           "like a+b allowed), or 'all' for every "
+                           "non-jittered builtin")
+    fuzz.add_argument("--seeds", default="1,2,3,4")
+    fuzz.add_argument("--jitters-us", default="0,1,2,5",
+                      help="boundary-jitter magnitudes to grid over "
+                           "(0 = snap exactly onto the boundary)")
+    fuzz.add_argument("--mode", default="defined",
+                      choices=["vanilla", "defined", "ddos"],
+                      help="defined carries the full Theorem-1 "
+                           "production-vs-replay check per cell")
+    fuzz.add_argument("--workers", type=int, default=1)
+    fuzz.add_argument("--no-minimize", action="store_true",
+                      help="skip shrinking failures to the smallest "
+                           "(scenario, seed, jitter) triple")
+    fuzz.add_argument("--report-out", default=None, metavar="PATH",
+                      help="write the JSON divergence report here")
+    fuzz.add_argument("--verbose", action="store_true")
+    fuzz.set_defaults(func=cmd_fuzz)
 
     scale = sub.add_parser("scale", help="size scalability sweep (Fig 8)")
     scale.add_argument("--sizes", default="20,40")

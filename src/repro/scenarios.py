@@ -307,7 +307,7 @@ def _rip_blackhole_expect(result) -> bool:
     return result.network.nodes["R1"].daemon.route_via(RIP_DEST) == RIP_MAIN
 
 
-_sweep.register(_sweep.Scenario(
+_xorp_bgp = _sweep.register(_sweep.Scenario(
     name="xorp-bgp-med",
     description="Figure 4: XORP 0.4 BGP MED ordering race (buggy decision)",
     topology=lambda seed: bgp_topology(),
@@ -319,7 +319,7 @@ _sweep.register(_sweep.Scenario(
     tail_us=3 * SECOND,
 ))
 
-_sweep.register(_sweep.Scenario(
+_quagga_rip = _sweep.register(_sweep.Scenario(
     name="quagga-rip-blackhole",
     description="Figure 5: Quagga RIP timer-refresh bug, permanent-blackhole config",
     topology=lambda seed: rip_topology(),
@@ -333,8 +333,30 @@ _sweep.register(_sweep.Scenario(
     tail_us=20 * SECOND - RIP_DEATH_US,
 ))
 
-_sweep.register(_sweep.flap_storm_scenario())
-_sweep.register(_sweep.crash_restart_scenario())
-_sweep.register(_sweep.partition_scenario())
-_sweep.register(_sweep.latency_jitter_scenario())
-_sweep.register(_sweep.ddos_overload_scenario())
+_flap_storm = _sweep.register(_sweep.flap_storm_scenario())
+_crash_restart = _sweep.register(_sweep.crash_restart_scenario())
+_partition = _sweep.register(_sweep.partition_scenario())
+_latency_jitter = _sweep.register(_sweep.latency_jitter_scenario())
+_ddos_overload = _sweep.register(_sweep.ddos_overload_scenario())
+
+# Composed builtins: every pair of fault scenarios is itself a scenario.
+# These are the two canonical stress compositions from the ROADMAP --
+# a partition cut in the middle of a flap storm, and a router crash
+# during an event-rate overload (where mode intersection drops the
+# ``ddos`` stop-and-wait mode: its restarts reboot at virtual time 0).
+# Components are passed as objects, not names: get_scenario() would
+# re-enter this module's import and freeze the builtin set early.
+_composed = [
+    _sweep.register(_sweep.compose(_flap_storm, _partition)),
+    _sweep.register(_sweep.compose(_crash_restart, _ddos_overload)),
+]
+
+# Boundary-jitter variants of every builtin (case studies, fault family
+# and compositions alike): the same scenario with each external event
+# snapped onto a beacon-group boundary +/- 1us of seed-derived jitter,
+# the handoff point for group tagging and anti-message retraction.
+for _scenario in [
+    _xorp_bgp, _quagga_rip, _flap_storm, _crash_restart, _partition,
+    _latency_jitter, _ddos_overload, *_composed,
+]:
+    _sweep.register(_sweep.jittered(_scenario, jitter_us=1))

@@ -15,6 +15,7 @@ link events) and is what the partial recording captures.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Any, Iterable, List, Tuple
 
@@ -130,3 +131,47 @@ class EventSchedule:
     def kinds(self) -> Tuple[str, ...]:
         """Distinct event kinds present, sorted (for reports and tests)."""
         return tuple(sorted({e.kind for e in self.events}))
+
+    def boundary_jittered(
+        self,
+        boundary_us: int,
+        seed: int,
+        jitter_us: int = 1,
+        tag: str = "boundary-jitter",
+    ) -> "EventSchedule":
+        """Snap every event onto its nearest group boundary, perturbed by
+        seed-derived jitter in ``[-jitter_us, +jitter_us]``.
+
+        This is the adversarial placement for the DEFINED machinery: a
+        beacon-group boundary is exactly where group tagging, the
+        per-group ordering function and anti-message retraction hand off,
+        so an event landing a microsecond on either side of it probes the
+        regime where those transitions can go wrong.
+
+        Per-target event order is preserved (a repair must not jitter
+        ahead of its failure): when two events on the same target would
+        collide or invert, the later one is clamped to one microsecond
+        after the earlier.  Times are clamped at zero.  The result is a
+        pure function of ``(schedule, boundary_us, seed, jitter_us)``.
+        """
+        if boundary_us <= 0:
+            raise ValueError("boundary_us must be positive")
+        if jitter_us < 0:
+            raise ValueError("jitter_us cannot be negative")
+        rng = random.Random(f"{tag}|{boundary_us}|{jitter_us}|{seed}")
+        out = EventSchedule()
+        last_for_target: dict = {}
+        for event in self.sorted():
+            boundary = round(event.time_us / boundary_us) * boundary_us
+            t = max(0, boundary + rng.randint(-jitter_us, jitter_us))
+            target_key = repr(event.target)
+            prev = last_for_target.get(target_key)
+            if prev is not None and t <= prev:
+                t = prev + 1
+            last_for_target[target_key] = t
+            out.add(
+                ExternalEvent(
+                    time_us=t, kind=event.kind, target=event.target, data=event.data
+                )
+            )
+        return out

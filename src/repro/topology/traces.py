@@ -24,7 +24,8 @@ from __future__ import annotations
 
 import math
 import random
-from typing import List, Tuple
+import warnings
+from typing import Dict, List, Optional, Tuple
 
 from repro.simnet.engine import SECOND
 from repro.simnet.events import LINK_DOWN, LINK_UP, EventSchedule, ExternalEvent
@@ -33,6 +34,13 @@ from repro.topology import TopologyGraph
 #: The paper's trace: 651 events over 14 days.
 TIER1_EVENT_COUNT = 651
 TIER1_DAYS = 14
+
+
+class TraceSynthesisWarning(UserWarning):
+    """The synthesized trace deviates from what was asked for: fewer
+    events than requested, or a degraded link-eligibility rule.  Silent
+    deviation was a footgun -- ``repro production --topology waxman
+    --size 12`` used to record next to nothing without a word."""
 
 
 def synth_tier1_trace(
@@ -46,9 +54,15 @@ def synth_tier1_trace(
 ) -> EventSchedule:
     """Synthesize a Tier-1-like link-event trace mapped onto ``graph``.
 
-    Events alternate down/up per link and never take the last live link
-    of a node down (area-0 backbones remain connected through single link
-    flaps; the paper's convergence measurements assume reachability).
+    Events alternate down/up per link and, when the graph allows it,
+    never take the last live link of a node down (area-0 backbones remain
+    connected through single link flaps; the paper's convergence
+    measurements assume reachability).  On graphs where *no* link
+    qualifies -- small Waxman graphs are mostly trees -- the eligibility
+    rule degrades to all links with a :class:`TraceSynthesisWarning`
+    rather than silently producing next to no events.  Likewise, repair
+    times are clamped into the trace horizon (instead of silently
+    dropping the whole pair), and a shortfall against ``n_events`` warns.
     """
     if n_events < 2:
         raise ValueError("a trace needs at least one down/up pair")
@@ -62,68 +76,122 @@ def synth_tier1_trace(
         degree[a] = degree.get(a, 0) + 1
         degree[b] = degree.get(b, 0) + 1
 
-    # heavy-tailed link trouble: a flappy subset carries most events, but
-    # only links whose endpoints have alternatives are eligible
+    # heavy-tailed link trouble: a flappy subset carries most events, and
+    # only links whose endpoints have alternatives are eligible -- unless
+    # the graph has none (a tree), where we degrade the rule out loud
     eligible = [
         (a, b) for a, b in links if degree[a] >= 2 and degree[b] >= 2
-    ] or links
+    ]
+    if not eligible:
+        warnings.warn(
+            f"topology {graph.name}: no link keeps both endpoints connected "
+            "when it drops; degrading the flap-eligibility rule to all links "
+            "(flaps may temporarily isolate nodes)",
+            TraceSynthesisWarning,
+            stacklevel=2,
+        )
+        eligible = links
     n_flappy = max(1, int(len(eligible) * flappy_fraction))
     flappy = rng.sample(sorted(eligible), min(n_flappy, len(eligible)))
 
-    # diurnal intensity: draw candidate times, thin by a day-cycle weight
     span = duration_us - start_us
     day_us = max(1, duration_us // TIER1_DAYS)
-    times: List[int] = []
-    while len(times) < n_events // 2:
+
+    schedule = EventSchedule()
+    #: per-link [down_t, up_t] spans already claimed, so a new flap never
+    #: lands inside an existing outage (per-link down/up alternation)
+    claimed: Dict[Tuple[str, str], List[Tuple[int, int]]] = {}
+    count = 0
+    attempts = 0
+    max_attempts = 64 * n_events
+    while count + 2 <= n_events and attempts < max_attempts:
+        attempts += 1
+        # diurnal intensity: draw a candidate time, thin by day-cycle weight
         t = start_us + rng.randrange(max(1, span))
         phase = 2 * math.pi * ((t % day_us) / day_us)
         weight = 0.55 + 0.45 * math.sin(phase)
-        if rng.random() < weight:
-            times.append(t)
-    times.sort()
-
-    schedule = EventSchedule()
-    live = {lk: True for lk in links}
-    count = 0
-    for t in times:
-        if count + 2 > n_events:
-            break
+        if rng.random() >= weight:
+            continue
         link = flappy[rng.randrange(len(flappy))] if rng.random() < 0.8 else (
             eligible[rng.randrange(len(eligible))]
         )
-        if not live[link]:
-            continue  # still down from an earlier flap
+        if t + min_gap_us >= duration_us:
+            continue  # no room for a repair before the horizon
         repair_gap = max(min_gap_us, int(rng.expovariate(1.0 / (30 * SECOND))))
-        down_t, up_t = t, t + repair_gap
-        if up_t >= duration_us:
-            continue
-        schedule.add(ExternalEvent(time_us=down_t, kind=LINK_DOWN, target=link))
+        # clamp the repair into the horizon -- dropping the whole pair
+        # here was the silent-zero-events footgun on short traces
+        up_t = min(t + repair_gap, duration_us - 1)
+        if any(t <= u and d <= up_t for d, u in claimed.get(link, [])):
+            continue  # would overlap an outage already scheduled there
+        schedule.add(ExternalEvent(time_us=t, kind=LINK_DOWN, target=link))
         schedule.add(ExternalEvent(time_us=up_t, kind=LINK_UP, target=link))
-        live[link] = False
+        claimed.setdefault(link, []).append((t, up_t))
         count += 2
-        # the link is live again after up_t for future draws
-        live[link] = True
 
-    return _respace(schedule, min_gap_us)
+    # events come in down/up pairs, so an odd request tops out one short
+    # by construction -- only a genuine shortfall warrants the warning
+    if count < n_events - (n_events % 2):
+        warnings.warn(
+            f"synthesized only {count} of {n_events} requested events on "
+            f"{graph.name}: the {duration_us / 1e6:.1f}s horizon and "
+            f"{len(eligible)} eligible link(s) left no room for more "
+            "non-overlapping down/up pairs",
+            TraceSynthesisWarning,
+            stacklevel=2,
+        )
+    return _respace(schedule, min_gap_us, horizon_us=duration_us)
 
 
-def _respace(schedule: EventSchedule, min_gap_us: int) -> EventSchedule:
+def _respace(
+    schedule: EventSchedule, min_gap_us: int, horizon_us: Optional[int] = None
+) -> EventSchedule:
     """Enforce a minimum spacing between events, preserving order.
 
     Convergence measurement needs each event's reaction to be at least
     partially attributable; the paper's replay spaces events similarly.
+
+    With ``horizon_us``, events that forward-respacing pushed past the
+    horizon (clamped repairs bunch against it) are pulled back onto a
+    ``min_gap_us`` ladder ending just inside it -- order and minimum
+    spacing survive, and the whole trace stays inside the horizon
+    whenever the spacing budget allows.
     """
-    out = EventSchedule()
+    events = schedule.sorted()
+    times: List[int] = []
     last = -min_gap_us
     shift = 0
-    for event in schedule.sorted():
+    for event in events:
         t = event.time_us + shift
         if t < last + min_gap_us:
             shift += last + min_gap_us - t
             t = last + min_gap_us
+        times.append(t)
+        last = t
+    if horizon_us is not None and times and times[-1] >= horizon_us:
+        n = len(times)
+        capped = [
+            min(t, horizon_us - 1 - (n - 1 - i) * min_gap_us)
+            for i, t in enumerate(times)
+        ]
+        # both sequences step by >= min_gap_us, so their pointwise min
+        # does too; only apply the cap when the horizon genuinely has
+        # room for the ladder -- and never deviate silently otherwise
+        if capped[0] >= 0:
+            times = capped
+        else:
+            warnings.warn(
+                f"trace overflows the requested horizon: {n} events at "
+                f"{min_gap_us}us minimum spacing do not fit inside "
+                f"{horizon_us / 1e6:.1f}s (last event at "
+                f"{times[-1] / 1e6:.1f}s); extend duration_us, lower "
+                "n_events or shrink min_gap_us",
+                TraceSynthesisWarning,
+                stacklevel=3,
+            )
+    out = EventSchedule()
+    for event, t in zip(events, times):
         out.add(ExternalEvent(time_us=t, kind=event.kind, target=event.target,
                               data=event.data))
-        last = t
     return out
 
 

@@ -1,0 +1,307 @@
+"""Tests for scenario composition and the boundary-jitter fuzzer."""
+
+from dataclasses import replace
+
+import pytest
+
+import repro.sweep as sweep_mod
+from repro.simnet.engine import SECOND
+from repro.simnet.events import (
+    LINK_DOWN,
+    NODE_DOWN,
+    NODE_UP,
+    EventSchedule,
+    ExternalEvent,
+)
+from repro.sweep import (
+    CellResult,
+    FuzzRunner,
+    Scenario,
+    SweepCell,
+    compose,
+    get_scenario,
+    jittered,
+    latency_jitter_scenario,
+    run_cell,
+    scenario_names,
+    seed_split,
+)
+
+
+class TestSeedSplit:
+    def test_deterministic_and_tag_sensitive(self):
+        assert seed_split(7, "a") == seed_split(7, "a")
+        assert seed_split(7, "a") != seed_split(7, "b")
+        assert seed_split(7, "a") != seed_split(8, "a")
+        assert seed_split(7, "a") >= 0
+
+
+class TestCompose:
+    def test_composed_builtins_are_registered(self):
+        names = scenario_names()
+        assert "flap-storm+partition" in names
+        assert "crash-restart+ddos-overload" in names
+        # jittered variants of every builtin, compositions included
+        assert "flap-storm~j1us" in names
+        assert "flap-storm+partition~j1us" in names
+        assert "xorp-bgp-med~j1us" in names
+
+    def test_mode_intersection_drops_ddos_for_crash_components(self):
+        composed = get_scenario("crash-restart+ddos-overload")
+        assert composed.modes == ("vanilla", "defined")
+
+    def test_widest_topology_hosts_the_composition(self):
+        # latency-jitter runs on the fixed 4-node diamond; flap-storm on
+        # an 8-node Waxman graph -- the wider one must win
+        composed = compose("latency-jitter", "flap-storm")
+        assert composed.topology(1).node_count() == 8
+
+    def test_schedule_overlays_both_components(self):
+        composed = get_scenario("crash-restart+ddos-overload")
+        graph = composed.topology(3)
+        kinds = set(composed.schedule(graph, 3).kinds())
+        assert {NODE_DOWN, NODE_UP} <= kinds  # the crash component
+        assert LINK_DOWN in kinds             # the overload component
+
+    def test_composed_schedule_is_seed_deterministic(self):
+        composed = get_scenario("flap-storm+partition")
+        graph = composed.topology(5)
+        assert composed.schedule(graph, 5).sorted() == composed.schedule(graph, 5).sorted()
+        assert composed.schedule(graph, 5).sorted() != composed.schedule(graph, 6).sorted()
+
+    def test_expectations_are_anded(self):
+        verdicts = {"a": True, "b": True}
+        base = latency_jitter_scenario(name="expect-a")
+        a = replace(base, name="expect-a", expect=lambda r: verdicts["a"])
+        b = replace(base, name="expect-b", expect=lambda r: verdicts["b"])
+        composed = compose(a, b)
+        assert composed.expect(object()) is True
+        verdicts["b"] = False
+        assert composed.expect(object()) is False
+
+    def test_offsets_shift_components(self):
+        base = latency_jitter_scenario(name="offset-base")
+        composed = compose(base, base, name="offset-test", offsets_us=(0, SECOND))
+        graph = composed.topology(1)
+        part_a = base.schedule(graph, seed_split(1, "offset-test#0:offset-base"))
+        part_b = base.schedule(graph, seed_split(1, "offset-test#1:offset-base"))
+        expected = part_a.merged(part_b.shifted(SECOND)).sorted()
+        assert composed.schedule(graph, 1).sorted() == expected
+
+    def test_degenerate_compositions_rejected(self):
+        with pytest.raises(ValueError, match="at least two"):
+            compose("flap-storm")
+        with pytest.raises(ValueError, match="custom daemon"):
+            compose("xorp-bgp-med", "flap-storm")
+        with pytest.raises(ValueError, match="offsets_us"):
+            compose("flap-storm", "partition", offsets_us=(0,))
+        ro = replace(
+            latency_jitter_scenario(name="ro-variant"), ordering="RO"
+        )
+        with pytest.raises(ValueError, match="ordering"):
+            compose("flap-storm", ro)
+        ddos_only = replace(
+            latency_jitter_scenario(name="ddos-only"), modes=("ddos",)
+        )
+        with pytest.raises(ValueError, match="no modes"):
+            compose("crash-restart", ddos_only)
+
+    def test_adversarial_knobs_win(self):
+        composed = get_scenario("flap-storm+partition")
+        flap, part = get_scenario("flap-storm"), get_scenario("partition")
+        assert composed.jitter_us == max(flap.jitter_us, part.jitter_us)
+        assert composed.settle_us == min(flap.settle_us, part.settle_us)
+        assert composed.tail_us == max(flap.tail_us, part.tail_us)
+
+
+class TestDynamicResolution:
+    def test_composed_spec_resolves_without_registration(self):
+        scenario = get_scenario("partition+latency-jitter")
+        assert scenario.name == "partition+latency-jitter"
+        assert "partition+latency-jitter" not in scenario_names()
+
+    def test_resolution_is_cached(self):
+        assert get_scenario("partition+latency-jitter") is get_scenario(
+            "partition+latency-jitter"
+        )
+
+    def test_underscores_normalize_to_hyphens(self):
+        # aliases resolve to the canonical composition: the name seeds
+        # the RNG streams, so both spellings must yield identical cells
+        assert get_scenario("flap_storm+partition").name == "flap-storm+partition"
+        assert get_scenario("flap_storm").name == "flap-storm"
+
+    def test_alias_spellings_produce_identical_schedules(self):
+        alias = get_scenario("flap_storm+partition~j1us")
+        canonical = get_scenario("flap-storm+partition~j1us")
+        graph = canonical.topology(3)
+        assert alias.schedule(graph, 3).sorted() == canonical.schedule(graph, 3).sorted()
+
+    def test_replace_registration_invalidates_cached_compositions(self):
+        from repro.sweep import register, unregister
+
+        original = latency_jitter_scenario(name="cache-test")
+        register(original)
+        try:
+            first = get_scenario("cache-test+partition")
+            updated = replace(original, description="updated")
+            register(updated, replace=True)
+            second = get_scenario("cache-test+partition")
+            assert second is not first
+            assert "updated" in second.description
+        finally:
+            unregister("cache-test")
+
+    def test_jitter_suffix_applies_to_whole_composition(self):
+        scenario = get_scenario("flap-storm+partition~j2us")
+        assert scenario.name == "flap-storm+partition~j2us"
+        assert "snapped to beacon-group" in scenario.description
+
+    def test_unknown_component_raises(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            get_scenario("flap-storm+heat-death")
+
+    def test_canonical_scenario_name(self):
+        from repro.sweep import canonical_scenario_name
+
+        assert canonical_scenario_name("flap_storm+partition~j2us") == (
+            "flap-storm+partition~j2us"
+        )
+        assert canonical_scenario_name("flap-storm") == "flap-storm"
+        # unresolvable parts pass through so lookup errors stay intact
+        assert canonical_scenario_name("heat_death") == "heat_death"
+
+
+class TestJittered:
+    def test_jittered_schedule_lands_on_boundaries(self):
+        scenario = get_scenario("flap-storm~j1us")
+        graph = scenario.topology(4)
+        for event in scenario.schedule(graph, 4):
+            phase = event.time_us % 250_000
+            distance = min(phase, 250_000 - phase)
+            # the per-target anti-inversion clamp can nudge past the
+            # jitter window by a few microseconds at most
+            assert distance <= 1 + 4
+
+    def test_jittered_preserves_daemon_and_modes(self):
+        base = get_scenario("xorp-bgp-med")
+        fuzzed = get_scenario("xorp-bgp-med~j1us")
+        assert fuzzed.daemon is base.daemon
+        assert fuzzed.modes == base.modes
+
+    def test_jittered_cell_upholds_theorem1(self):
+        result = run_cell(SweepCell("latency-jitter~j1us", seed=3, mode="defined"))
+        assert result.error is None
+        assert result.invariant_ok is True
+
+
+class TestDdosRestartGuard:
+    def test_crash_schedule_under_ddos_mode_errors_clearly(self):
+        result = run_cell(SweepCell("crash-restart", seed=1, mode="ddos"))
+        assert result.error is not None
+        assert "ddos baseline stack cannot run" in result.error
+        assert "virtual time 0" in result.error
+
+    def test_composed_crash_forced_into_ddos_mode_errors_clearly(self):
+        result = run_cell(
+            SweepCell("crash-restart+ddos-overload", seed=1, mode="ddos")
+        )
+        assert result.error is not None
+        assert "ddos baseline stack cannot run" in result.error
+
+    def test_link_only_schedules_still_run_under_ddos(self):
+        result = run_cell(SweepCell("ddos-overload~j1us", seed=1, mode="ddos"))
+        assert result.error is None
+
+
+class TestFuzzRunner:
+    def test_validation(self):
+        with pytest.raises(KeyError):
+            FuzzRunner(scenarios=["heat-death"])
+        with pytest.raises(ValueError, match="does not run in mode"):
+            FuzzRunner(scenarios=["flap-storm"], mode="ddos")
+        with pytest.raises(ValueError, match="negative"):
+            FuzzRunner(scenarios=["flap-storm"], jitters_us=(-1,))
+        with pytest.raises(ValueError, match="workers"):
+            FuzzRunner(scenarios=["flap-storm"], workers=0)
+
+    def test_default_catalogue_excludes_prejittered_builtins(self):
+        runner = FuzzRunner(seeds=(1,), jitters_us=(0,))
+        assert all("~" not in name for name in runner.base_scenarios)
+        assert "flap-storm" in runner.base_scenarios
+
+    def test_prejittered_names_are_stripped_not_double_jittered(self):
+        # the runner owns the jitter axis: passing a registered '*~j1us'
+        # variant must not produce 'a~j1us~j0us' grid names (unresolvable)
+        runner = FuzzRunner(
+            scenarios=["latency-jitter~j2us", "latency-jitter"],
+            seeds=(1,), jitters_us=(0,),
+        )
+        assert runner.base_scenarios == ("latency-jitter",)
+        assert runner.grid_names() == ["latency-jitter~j0us"]
+
+    def test_small_real_grid_is_green(self):
+        report = FuzzRunner(
+            scenarios=["latency-jitter"], seeds=(1, 2), jitters_us=(0, 1)
+        ).run()
+        assert report.ok(), report.render()
+        assert report.minimized is None
+        assert len(report.cells) == 4
+        assert "verdict: OK" in report.render()
+        payload = report.to_dict()
+        assert payload["ok"] is True and payload["failures"] == []
+
+    def _patched_run_cell(self, failing):
+        """A fake run_cell failing exactly when ``failing(base, seed, j)``."""
+
+        def fake(cell):
+            base, jitter = sweep_mod._parse_fuzz_name(cell.scenario)
+            bad = failing(base, cell.seed, jitter)
+            return CellResult(
+                scenario=cell.scenario,
+                seed=cell.seed,
+                mode=cell.mode,
+                fingerprint=f"fp-{cell.scenario}-{cell.seed}",
+                invariant_ok=not bad,
+            )
+
+        return fake
+
+    def test_minimizer_shrinks_to_smallest_failing_triple(self, monkeypatch):
+        monkeypatch.setattr(
+            sweep_mod, "run_cell",
+            self._patched_run_cell(lambda base, seed, j: j >= 3),
+        )
+        report = FuzzRunner(
+            scenarios=["flap-storm"], seeds=(1, 2), jitters_us=(0, 2, 4, 8)
+        ).run()
+        assert not report.ok()
+        # grid failures at 4 and 8; binary search must land on true min 3
+        assert report.minimized == ("flap-storm", 1, 3)
+        assert report.shrink_runs > 0
+        assert "minimized" in report.render()
+        assert report.to_dict()["minimized"]["jitter_us"] == 3
+
+    def test_minimizer_shrinks_seed_after_jitter(self, monkeypatch):
+        monkeypatch.setattr(
+            sweep_mod, "run_cell",
+            self._patched_run_cell(
+                lambda base, seed, j: j >= 3 and seed >= 2
+            ),
+        )
+        report = FuzzRunner(
+            scenarios=["flap-storm"], seeds=(1, 2, 3), jitters_us=(0, 4)
+        ).run()
+        assert report.minimized == ("flap-storm", 2, 3)
+
+    def test_minimize_can_be_disabled(self, monkeypatch):
+        monkeypatch.setattr(
+            sweep_mod, "run_cell",
+            self._patched_run_cell(lambda base, seed, j: j >= 1),
+        )
+        report = FuzzRunner(
+            scenarios=["flap-storm"], seeds=(1,), jitters_us=(0, 1),
+            minimize=False,
+        ).run()
+        assert not report.ok()
+        assert report.minimized is None and report.shrink_runs == 0

@@ -178,3 +178,103 @@ class TestCompressedTrace:
                 state[key] = "down"
             else:
                 state[key] = "up"
+
+
+class TestTraceSynthesisFootguns:
+    """Regressions for the silent-short-trace footgun (ROADMAP): small
+    Waxman graphs are mostly trees, so few links qualify as flappable and
+    late repair draws used to fall off the horizon -- ``repro production
+    --topology waxman --size 12`` recorded next to nothing, silently."""
+
+    def test_small_waxman_traces_fill_the_request(self):
+        for size in (8, 12, 16):
+            for seed in range(4):
+                graph = waxman(size, seed=1 + seed)
+                trace = compressed_trace(
+                    graph, n_events=6, gap_us=8 * SECOND,
+                    start_us=4_097_000, seed=seed,
+                )
+                assert len(trace) == 6, (size, seed, len(trace))
+
+    def test_degraded_eligibility_warns_but_produces_events(self):
+        from repro.topology.traces import TraceSynthesisWarning
+
+        # a star: every link has a degree-1 endpoint, so the strict
+        # flap-eligibility rule matches nothing
+        star = TopologyGraph(
+            name="star5",
+            nodes=["hub", "l1", "l2", "l3", "l4"],
+            edges=[("hub", leaf, 2_000) for leaf in ["l1", "l2", "l3", "l4"]],
+        )
+        with pytest.warns(TraceSynthesisWarning, match="degrading"):
+            trace = synth_tier1_trace(star, n_events=4, seed=1)
+        assert len(trace) == 4
+
+    def test_impossible_request_warns_of_shortfall(self):
+        from repro.topology.traces import TraceSynthesisWarning
+
+        graph = waxman(8, seed=1)
+        # a horizon so short that almost no down/up pair fits
+        with pytest.warns(TraceSynthesisWarning, match="synthesized only"):
+            trace = synth_tier1_trace(
+                graph, n_events=100, duration_us=3 * SECOND,
+                start_us=2 * SECOND, min_gap_us=400_000, seed=1,
+            )
+        assert len(trace) < 100
+
+    def test_unfittable_min_gap_ladder_warns_of_horizon_overflow(self):
+        from repro.topology.traces import TraceSynthesisWarning
+
+        # 30 events at 400ms minimum spacing cannot fit inside 5s: the
+        # respace pass must say so instead of silently running long
+        graph = waxman(30, seed=1)
+        with pytest.warns(TraceSynthesisWarning, match="overflows the requested horizon"):
+            synth_tier1_trace(
+                graph, n_events=30, duration_us=5 * SECOND,
+                start_us=1 * SECOND, min_gap_us=400_000, seed=1,
+            )
+
+    def test_odd_request_tops_out_one_short_without_warning(self):
+        import warnings
+
+        from repro.topology.traces import TraceSynthesisWarning
+
+        # events come in down/up pairs: an odd n_events (including the
+        # default TIER1_EVENT_COUNT=651) yields n_events-1, which is not
+        # a shortfall worth warning about
+        graph = waxman(30, seed=1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", TraceSynthesisWarning)
+            trace = synth_tier1_trace(
+                graph, n_events=7, duration_us=120 * SECOND, seed=1
+            )
+        assert len(trace) == 6
+
+    def test_long_repairs_are_clamped_not_dropped(self):
+        # a horizon much shorter than the 30s-mean repair draw: the old
+        # code dropped most pairs here, the clamp keeps them -- and the
+        # respace pass must not push the bunched repairs past the horizon
+        graph = waxman(10, seed=2)
+        duration = 60 * SECOND
+        trace = synth_tier1_trace(
+            graph, n_events=20, duration_us=duration, seed=3
+        )
+        assert len(trace) == 20
+        downs = sum(1 for e in trace.sorted() if e.kind == "link_down")
+        assert downs == len(trace) // 2
+        assert all(e.time_us < duration for e in trace.sorted())
+        times = [e.time_us for e in trace.sorted()]
+        assert all(b - a >= 200_000 for a, b in zip(times, times[1:]))
+
+    def test_per_link_alternation_still_holds_after_fix(self):
+        graph = waxman(12, seed=4)
+        trace = synth_tier1_trace(graph, n_events=30, duration_us=120 * SECOND, seed=5)
+        state = {}
+        for event in trace.sorted():
+            key = tuple(sorted(event.target))
+            if event.kind == "link_down":
+                assert state.get(key, "up") == "up"
+                state[key] = "down"
+            else:
+                assert state.get(key) == "down"
+                state[key] = "up"
