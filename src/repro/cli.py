@@ -7,6 +7,9 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli replay --topology ebone \
         --recording /tmp/run.recording.json
     python -m repro.cli sweep --seeds 1,2,3 --workers 4
+    python -m repro.cli sweep --scenarios flap_storm@40 --repeats 3 \
+        --workers 4 --report-out /tmp/grid.json
+    python -m repro.cli sweep --scenarios flap-storm,partition --sizes 20,40
     python -m repro.cli sweep --compose flap_storm+partition \
         --boundary-jitter-us 1 --seeds 8
     python -m repro.cli fuzz --scenarios flap-storm,partition \
@@ -134,13 +137,17 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     # --scenarios picks registered names; --compose adds on-the-fly
     # compositions ("a+b"); with --compose alone, only the compositions
     # run (an explicit --scenarios all still sweeps the whole catalogue
-    # alongside them).  --boundary-jitter-us N wraps every selected
-    # scenario in the boundary-jitter fuzzer (the "~jNus" dynamic variant).
+    # alongside them).  --sizes re-scales every selected scenario onto
+    # N-node topologies (the "@N" dynamic variant); --boundary-jitter-us
+    # N wraps every selected scenario in the boundary-jitter fuzzer (the
+    # "~jNus" dynamic variant).  The default grid (and "all") excludes
+    # the registered @N size variants -- 80-node cells run for minutes,
+    # so sizes are an explicit opt-in via "name@N" or --sizes.
     names: List[str] = []
     if args.scenarios == "all":
-        names = scenario_names()
+        names = scenario_names(include_sized=False)
     elif args.scenarios is None and not args.compose:
-        names = scenario_names()
+        names = scenario_names(include_sized=False)
     elif args.scenarios:
         names = args.scenarios.split(",")
     if args.compose:
@@ -151,6 +158,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.sweep import canonical_scenario_name
 
     names = list(dict.fromkeys(canonical_scenario_name(n) for n in names))
+    if args.sizes:
+        from repro.sweep import sized_spec
+
+        sizes = _parse_int_list(args.sizes, "--sizes")
+        try:
+            names = [sized_spec(name, n) for name in names for n in sizes]
+        except ValueError as exc:
+            raise SystemExit(exc.args[0] if exc.args else str(exc))
     if args.boundary_jitter_us is not None:
         if args.boundary_jitter_us < 0:
             raise SystemExit("--boundary-jitter-us cannot be negative")
@@ -171,21 +186,30 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             modes=args.modes.split(",") if args.modes else None,
             workers=args.workers,
             repeats=args.repeats,
+            transport=args.transport,
         )
     except (KeyError, ValueError) as exc:
         raise SystemExit(exc.args[0] if exc.args else str(exc))
     print(
         f"sweeping {len(runner.grid())} cells "
-        f"({len(names)} scenario(s) x {len(runner.seeds)} seed(s)) "
+        f"({len(names)} scenario(s) x {len(runner.seeds)} seed(s) "
+        f"x {args.repeats} jitter-seed repeat(s)) "
         f"on {args.workers} worker(s)"
     )
 
     def progress(cell) -> None:
         status = "ERROR " + cell.error if cell.error else "ok"
-        print(f"  {cell.scenario}/{cell.mode} seed={cell.seed}: {status}")
+        print(f"  {cell.scenario}/{cell.mode} seed={cell.seed}"
+              f" repeat={cell.repeat}: {status}")
 
     report = runner.run(progress=progress if args.verbose else None)
     print(report.render())
+    if args.report_out:
+        import json
+
+        with open(args.report_out, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+        print(f"\ndivergence report written to {args.report_out}")
     return 0 if report.ok() else 1
 
 
@@ -338,11 +362,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="scenario x seed x mode determinism sweep (parallelizable)",
     )
     sweep.add_argument("--scenarios", default=None,
-                       help="comma-separated scenario names, or 'all' "
-                            "(default: all, unless --compose is given alone)")
+                       help="comma-separated scenario names (size with "
+                            "'name@N', compose with 'a+b', fuzz with "
+                            "'a~jNus'), or 'all' (default: every "
+                            "registered scenario except @N size variants, "
+                            "unless --compose is given alone)")
     sweep.add_argument("--compose", default=None, metavar="A+B[,C+D]",
                        help="compose registered scenarios on the fly and "
                             "sweep the compositions (e.g. flap_storm+partition)")
+    sweep.add_argument("--sizes", default=None, metavar="N[,M]",
+                       help="re-scale every selected scenario onto N-node "
+                            "topologies (the 'name@N' dynamic variant); "
+                            "e.g. --sizes 20,40,80")
     sweep.add_argument("--boundary-jitter-us", type=int, default=None,
                        metavar="N",
                        help="wrap every selected scenario in the boundary-"
@@ -354,7 +385,15 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--workers", type=int, default=1,
                        help="worker processes (each cell gets its own simulator)")
     sweep.add_argument("--repeats", type=int, default=1,
-                       help="run each cell N times and cross-check fingerprints")
+                       help="seed-invariance probe: run each cell under N "
+                            "jitter seeds; deterministic modes must "
+                            "collapse to one fingerprint per cell")
+    sweep.add_argument("--transport", default="shm",
+                       choices=["shm", "futures"],
+                       help="parallel result path: shared-memory streaming "
+                            "(default) or one pickled future per cell")
+    sweep.add_argument("--report-out", default=None, metavar="PATH",
+                       help="write the JSON divergence report here")
     sweep.add_argument("--list", action="store_true",
                        help="list registered scenarios and exit")
     sweep.add_argument("--verbose", action="store_true",

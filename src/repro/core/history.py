@@ -96,6 +96,10 @@ class DeliveredHistory:
         #: a "late message" the window could not protect (counted, not
         #: crashed on -- see shim docs).
         self.last_pruned_key: Optional[OrderKey] = None
+        #: Delivery time of that entry: how long ago the window boundary
+        #: passed, which is what sizes the slack deficit when an arrival
+        #: turns out to be late.
+        self.last_pruned_at_us: Optional[int] = None
         self.total_pruned = 0
 
     def __len__(self) -> int:
@@ -158,6 +162,7 @@ class DeliveredHistory:
             n += 1
         if n > 0:
             self.last_pruned_key = self._keys[n - 1]
+            self.last_pruned_at_us = self.entries[n - 1].delivered_at_us
             del self.entries[:n]
             del self._keys[:n]
             self.total_pruned += n

@@ -29,6 +29,7 @@ the lockstep replay, which runs over reliable transport, suppresses them.
 from __future__ import annotations
 
 import random
+import warnings
 from collections import deque
 from typing import Optional, Set
 
@@ -50,6 +51,44 @@ from repro.simnet.node import Node, Stack
 #: Default bound on causal chain length within one group (Section 2.2:
 #: "We further bound the length of each causal chain within a timestep").
 DEFAULT_CHAIN_BOUND = 64
+
+
+class HistoryWindowWarning(UserWarning):
+    """The sliding history window's slack ran out: an arrival sorted
+    below an already-pruned entry, so its deterministic ordering cannot
+    be guaranteed (it is delivered unordered and counted in
+    ``late_deliveries``).
+
+    This is a *misconfiguration signal*, not a transient: the window
+    (:meth:`DefinedShim.window_us`) is too small for the deployment's
+    jitter/propagation envelope.  ``deficit_us`` is a lower bound on how
+    much more window would have been needed to cover this arrival --
+    re-run with ``window_us >= window_us + deficit_us`` (or reduce the
+    injected jitter).
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        window_us: int,
+        deficit_us: Optional[int],
+        late_count: int,
+    ) -> None:
+        self.node_id = node_id
+        self.window_us = window_us
+        self.deficit_us = deficit_us
+        self.late_count = late_count
+        deficit = (
+            f"short by >= {deficit_us}us"
+            if deficit_us is not None
+            else "deficit unknown (pruned entry predates measurement)"
+        )
+        super().__init__(
+            f"history window exhausted at node {node_id}: arrival sorts "
+            f"below the pruned window (window_us={window_us}, {deficit}; "
+            f"late delivery #{late_count}); raise window_us or reduce "
+            "delivery jitter"
+        )
 
 
 class DefinedShim(Stack):
@@ -120,6 +159,12 @@ class DefinedShim(Stack):
         #: cannot be guaranteed for them (window mis-sized).  Counted so
         #: experiments can assert it stayed at zero.
         self.late_deliveries = 0
+        #: Largest slack deficit already reported via
+        #: :class:`HistoryWindowWarning`; warnings are emitted on the
+        #: first late delivery and on every deficit escalation, not per
+        #: event -- a misconfigured run must not pay O(late_deliveries)
+        #: warning traffic on its delivery hot path.
+        self._reported_deficit_us: Optional[int] = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -469,10 +514,33 @@ class DefinedShim(Stack):
     def _admit(self, entry: HistoryEntry) -> None:
         if self.history.is_late(entry.key):
             # The window failed to cover this arrival; determinism is no
-            # longer guaranteed for it.  Count it, and hand it straight to
-            # the daemon outside the ordered window (crashing a production
+            # longer guaranteed for it.  Count it, surface the slack
+            # deficit as a structured warning (window mis-sizing is a
+            # configuration bug, not noise), and hand it straight to the
+            # daemon outside the ordered window (crashing a production
             # router would be worse).  Experiments assert this stayed at 0.
             self.late_deliveries += 1
+            deficit: Optional[int] = None
+            pruned_at = self.history.last_pruned_at_us
+            if pruned_at is not None and pruned_at >= 0:
+                # the window would have needed to reach back to the
+                # pruned predecessor's delivery; anything older is a
+                # lower bound (the true predecessor may be older still)
+                deficit = max(0, (self.sim.now - pruned_at) - self.window_us())
+            escalated = self._reported_deficit_us is None or (
+                deficit is not None and deficit > self._reported_deficit_us
+            )
+            if escalated:
+                self._reported_deficit_us = deficit or 0
+                warnings.warn(
+                    HistoryWindowWarning(
+                        node_id=self.node.node_id,
+                        window_us=self.window_us(),
+                        deficit_us=deficit,
+                        late_count=self.late_deliveries,
+                    ),
+                    stacklevel=2,
+                )
             self._deliver_unordered(entry)
             return
         index = self.history.insertion_index(entry.key)

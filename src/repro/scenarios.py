@@ -360,3 +360,19 @@ for _scenario in [
     _latency_jitter, _ddos_overload, *_composed,
 ]:
     _sweep.register(_sweep.jittered(_scenario, jitter_us=1))
+
+# Waxman size variants of the fault-injection family (the paper's
+# scalability sizes, Section 5.3): each builtin re-based onto 20/40/80
+# node Waxman graphs with schedule event counts scaled proportionally.
+# The diamond-bound scenarios (latency-jitter, ddos-overload) switch to
+# Waxman topologies when sized.  Registered for discoverability
+# (``repro sweep --list``); any other size resolves dynamically as
+# ``name@N``.  Size variants are *excluded* from the default sweep grid
+# -- an 80-node defined cell runs for minutes, so they opt in by name.
+SCALE_SIZES = (20, 40, 80)
+
+for _scenario in [
+    _flap_storm, _crash_restart, _partition, _latency_jitter, _ddos_overload,
+]:
+    for _n in SCALE_SIZES:
+        _sweep.register(_scenario.sized(_n))

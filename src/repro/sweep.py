@@ -34,11 +34,29 @@ whole *grid*:
 * :class:`FuzzRunner` sweeps jittered grids across (scenario, seed,
   jitter) and shrinks any divergence to the smallest failing triple.
 
-Composed and jittered scenarios are addressable *by name* without prior
-registration: ``a+b`` composes, ``a~j2us`` fuzzes with 2 us of boundary
-jitter, and ``a+b~j1us`` fuzzes the composition.  Name resolution is a
-pure function of the builtin catalogue, so the names travel to worker
-processes regardless of the multiprocessing start method.
+Composed, sized and jittered scenarios are addressable *by name* without
+prior registration: ``a+b`` composes, ``a@40`` re-scales ``a`` onto a
+40-node topology (:meth:`Scenario.sized`), ``a~j2us`` fuzzes with 2 us
+of boundary jitter, and they nest -- ``flap_storm@40+partition@40~j2us``
+is a 40-node flap storm overlaid with a 40-node partition, fuzzed.  Name
+resolution is a pure function of the builtin catalogue, so the names
+travel to worker processes regardless of the multiprocessing start
+method.
+
+Two scale-out mechanisms round the grid machinery out:
+
+* ``SweepRunner(..., repeats=K)`` is the **seed-invariance probe**: each
+  ``(scenario, seed, mode)`` cell is re-run under ``K`` seed-split
+  *jitter seeds* -- same topology, same external schedule, different
+  network timing -- and for the deterministic modes (``defined``,
+  ``ddos``) the ``K`` fingerprints must collapse to one.  A split is a
+  first-class divergence (:meth:`SweepReport.invariance_splits`).
+* with ``workers > 1`` results stream back through a bounded
+  :mod:`multiprocessing.shared_memory` ring
+  (:mod:`repro.sweep_stream`) instead of one pickled future hop per
+  cell, so 1000+-cell grids report progress live and the parent's
+  result-transport memory stays flat; ``transport="futures"`` keeps the
+  legacy path for comparison.
 """
 
 from __future__ import annotations
@@ -69,7 +87,7 @@ from repro.simnet.events import (
     ExternalEvent,
 )
 from repro.simnet.network import DEFAULT_TIME_UNIT_US
-from repro.topology import TopologyGraph, waxman
+from repro.topology import TopologyGraph, waxman_family
 
 TopologyFactory = Callable[[int], TopologyGraph]
 ScheduleFactory = Callable[[TopologyGraph, int], EventSchedule]
@@ -79,6 +97,12 @@ ExpectPredicate = Callable[[ProductionResult], bool]
 #: Modes a scenario runs in by default.  ``defined`` cells additionally
 #: run a DEFINED-LS replay and check the Theorem-1 invariant.
 DEFAULT_MODES: Tuple[str, ...] = ("vanilla", "defined")
+
+#: Modes that guarantee timing-independent execution: the same workload
+#: must produce the same fingerprint under *any* jitter seed.  The
+#: seed-invariance probe (``repeats > 1``) only demands fingerprint
+#: collapse in these modes.
+DETERMINISTIC_MODES: Tuple[str, ...] = ("defined", "ddos")
 
 
 @dataclass(frozen=True)
@@ -106,6 +130,51 @@ class Scenario:
     ordering: str = "OO"
     settle_us: int = 3 * SECOND
     tail_us: int = 2 * SECOND
+    #: Nominal node count of ``topology`` (None: unknown / not meaningful).
+    base_nodes: Optional[int] = None
+    #: Size-parameterization hook: maps a node count to a re-scaled
+    #: scenario of the same family (topology re-based to ``n`` nodes,
+    #: schedule event counts scaled proportionally).  Installed by the
+    #: scenario-family constructors; ``None`` means :meth:`sized` refuses
+    #: (the paper case studies are bound to their fixed topologies).
+    sizer: Optional[Callable[[int], "Scenario"]] = None
+
+    def sized(self, n: int) -> "Scenario":
+        """Derive the ``n``-node variant of this scenario (``name@N``).
+
+        The sizer re-builds the family at ``n`` nodes -- topology factory
+        re-scaled, schedule event counts scaled proportionally to
+        ``n / base_nodes`` -- and the derived schedule runs on a
+        seed-split RNG stream keyed on the sized name, so every size is
+        an independent, deterministic function of the cell seed.
+        """
+        if "@" in self.name:
+            raise ValueError(
+                f"scenario {self.name!r} is already size-parameterized; "
+                "derive sizes from the base scenario"
+            )
+        if self.sizer is None:
+            raise ValueError(
+                f"scenario {self.name!r} is not size-parameterized: it is "
+                "bound to a fixed topology (no sizer hook)"
+            )
+        if n < 2:
+            raise ValueError("sized() needs at least two nodes")
+        derived = self.sizer(n)
+        sized_name = f"{self.name}@{n}"
+        base_schedule = derived.schedule
+
+        def schedule(graph: TopologyGraph, seed: int) -> EventSchedule:
+            return base_schedule(graph, seed_split(seed, sized_name))
+
+        return replace(
+            derived,
+            name=sized_name,
+            description=f"{derived.description} [sized to {n} nodes]",
+            schedule=schedule,
+            base_nodes=n,
+            sizer=None,
+        )
 
 
 # ----------------------------------------------------------------------
@@ -151,19 +220,44 @@ def _ensure_builtins() -> None:
 #: ``name~j<N>us`` -- the boundary-jitter fuzzing suffix.
 _JITTER_SUFFIX = re.compile(r"^(?P<base>.+)~j(?P<us>\d+)us$")
 
-#: Cache for dynamically resolved (composed / jittered) scenarios, kept
-#: out of the registry so lookups don't grow ``scenario_names()``.
+#: ``name@<N>`` -- the size-parameterization suffix (per component).
+_SIZE_SUFFIX = re.compile(r"^(?P<base>.+)@(?P<n>\d+)$")
+
+#: Cache for dynamically resolved (composed / sized / jittered)
+#: scenarios, kept out of the registry so lookups don't grow
+#: ``scenario_names()``.
 _DYNAMIC_CACHE: Dict[str, Scenario] = {}
 
 
-def _resolve_dynamic(name: str) -> Optional[Scenario]:
-    """Resolve a composed/jittered scenario name against the registry.
+def _resolve_component(part: str) -> Optional[Scenario]:
+    """Resolve one composition component: ``name`` or ``name@N``.
 
-    Grammar: ``spec := base ['~j' N 'us']; base := name ('+' name)*`` --
-    the jitter suffix applies to the whole composition.  Unknown
-    component names make the whole resolution fail (returns ``None``).
-    Resolution only reads the registry, so any process that can import
-    the builtin catalogue can resolve the same name to the same scenario.
+    Raises :class:`ValueError` when the base scenario exists but is not
+    size-parameterized (a clearer failure than "unknown scenario").
+    """
+    if part in _REGISTRY:
+        return _REGISTRY[part]
+    size = None
+    size_match = _SIZE_SUFFIX.match(part)
+    if size_match:
+        part, size = size_match.group("base"), int(size_match.group("n"))
+    part = part if part in _REGISTRY else part.replace("_", "-")
+    if part not in _REGISTRY:
+        return None
+    scenario = _REGISTRY[part]
+    return scenario.sized(size) if size is not None else scenario
+
+
+def _resolve_dynamic(name: str) -> Optional[Scenario]:
+    """Resolve a composed/sized/jittered scenario name against the registry.
+
+    Grammar: ``spec := base ['~j' N 'us']; base := comp ('+' comp)*;
+    comp := name ['@' N]`` -- the size suffix applies per component, the
+    jitter suffix to the whole composition.  Unknown component names make
+    the whole resolution fail (returns ``None``).  Resolution only reads
+    the registry, so any process that can import the builtin catalogue
+    can resolve the same name to the same scenario, regardless of the
+    multiprocessing start method.
     """
     cached = _DYNAMIC_CACHE.get(name)
     if cached is not None:
@@ -173,10 +267,10 @@ def _resolve_dynamic(name: str) -> Optional[Scenario]:
     parts = base_spec.split("+")
     components = []
     for part in parts:
-        part = part if part in _REGISTRY else part.replace("_", "-")
-        if part not in _REGISTRY:
+        component = _resolve_component(part)
+        if component is None:
             return None
-        components.append(_REGISTRY[part])
+        components.append(component)
     # resolve under the *canonical* name (registered component spellings)
     # -- the name seeds the composition's RNG streams, so an underscore
     # alias must produce the same schedules as the hyphenated spelling
@@ -192,24 +286,52 @@ def _resolve_dynamic(name: str) -> Optional[Scenario]:
 
 def canonical_scenario_name(name: str) -> str:
     """The canonical spelling of a scenario spec: each component takes
-    its registered spelling (underscores normalize to hyphens), the
-    jitter suffix is kept.  Unresolvable parts pass through unchanged so
-    unknown names still fail later with the full lookup error."""
+    its registered spelling (underscores normalize to hyphens), ``@N``
+    size and ``~jNus`` jitter suffixes are kept.  Unresolvable parts pass
+    through unchanged so unknown names still fail later with the full
+    lookup error."""
     _ensure_builtins()
     match = _JITTER_SUFFIX.match(name)
     base = match.group("base") if match else name
     parts = []
     for part in base.split("+"):
+        suffix = ""
+        if part not in _REGISTRY:
+            size_match = _SIZE_SUFFIX.match(part)
+            if size_match:
+                part, suffix = size_match.group("base"), f"@{size_match.group('n')}"
         if part not in _REGISTRY and part.replace("_", "-") in _REGISTRY:
             part = part.replace("_", "-")
-        parts.append(part)
+        parts.append(part + suffix)
     canonical = "+".join(parts)
     return f"{canonical}~j{match.group('us')}us" if match else canonical
 
 
+def sized_spec(name: str, n: int) -> str:
+    """Append ``@n`` to every component of a scenario spec.
+
+    ``sized_spec("flap_storm+partition~j2us", 40)`` is
+    ``"flap-storm@40+partition@40~j2us"`` -- the whole composition
+    re-scaled onto 40-node topologies.  Components that already carry a
+    size are rejected (re-sizing would be ambiguous)."""
+    canonical = canonical_scenario_name(name)
+    match = _JITTER_SUFFIX.match(canonical)
+    base = match.group("base") if match else canonical
+    parts = []
+    for part in base.split("+"):
+        if _SIZE_SUFFIX.match(part):
+            raise ValueError(
+                f"component {part!r} already carries a size; cannot re-size"
+            )
+        parts.append(f"{part}@{n}")
+    sized = "+".join(parts)
+    return f"{sized}~j{match.group('us')}us" if match else sized
+
+
 def get_scenario(name: str) -> Scenario:
-    """Look up a registered scenario, or resolve a composed/jittered spec
-    (``a+b``, ``a~j1us``, ``a+b~j2us``) from registered components."""
+    """Look up a registered scenario, or resolve a composed/sized/
+    jittered spec (``a+b``, ``a@40``, ``a~j1us``, ``a@40+b@40~j2us``)
+    from registered components."""
     _ensure_builtins()
     if name in _REGISTRY:
         return _REGISTRY[name]
@@ -218,13 +340,19 @@ def get_scenario(name: str) -> Scenario:
         return dynamic
     raise KeyError(
         f"unknown scenario {name!r}; registered: {scenario_names()} "
-        "(or compose with 'a+b', fuzz with 'a~j<N>us')"
+        "(or compose with 'a+b', size with 'a@<N>', fuzz with 'a~j<N>us')"
     )
 
 
-def scenario_names() -> List[str]:
+def scenario_names(include_sized: bool = True) -> List[str]:
+    """Registered scenario names.  ``include_sized=False`` drops the
+    ``name@N`` size variants -- the default grid for sweeps, which would
+    otherwise quietly pull 80-node cells into every smoke run."""
     _ensure_builtins()
-    return sorted(_REGISTRY)
+    names = sorted(_REGISTRY)
+    if not include_sized:
+        names = [n for n in names if "@" not in n]
+    return names
 
 
 # ----------------------------------------------------------------------
@@ -362,6 +490,10 @@ def jittered(
             f"boundaries +/-{jitter_us}us"
         ),
         schedule=schedule,
+        # sizing must happen *inside* the jitter wrapper ("a@20~j1us");
+        # inheriting the sizer would let "a~j1us@20" silently resolve to
+        # an unjittered sized scenario
+        sizer=None,
     )
 
 
@@ -472,16 +604,12 @@ def ddos_overload_schedule(
 
 def _waxman_topology(tag: str, n: int) -> TopologyFactory:
     """Seed-varied Waxman graphs: each cell seed gets its own topology."""
+    return waxman_family(tag, n)
 
-    def factory(seed: int) -> TopologyGraph:
-        graph = waxman(n, seed=1000 + seed)
-        return TopologyGraph(
-            name=f"{tag}-{graph.name}-s{seed}",
-            nodes=graph.nodes,
-            edges=graph.edges,
-        )
 
-    return factory
+def _scale_count(base_count: int, base_nodes: int, n: int) -> int:
+    """Scale a schedule event count proportionally with the node count."""
+    return max(1, round(base_count * n / base_nodes))
 
 
 def _diamond_topology(seed: int) -> TopologyGraph:
@@ -512,6 +640,10 @@ def flap_storm_scenario(
         schedule=lambda graph, seed: flap_storm_schedule(graph, seed, n_flaps=n_flaps),
         expect=_expect_all_links_healed,
         tail_us=3 * SECOND,
+        base_nodes=nodes,
+        sizer=lambda n: flap_storm_scenario(
+            name=name, nodes=n, n_flaps=_scale_count(n_flaps, nodes, n)
+        ),
     )
 
 
@@ -529,6 +661,10 @@ def crash_restart_scenario(
         ),
         expect=_expect_all_nodes_up,
         tail_us=3 * SECOND,
+        base_nodes=nodes,
+        sizer=lambda n: crash_restart_scenario(
+            name=name, nodes=n, n_crashes=_scale_count(n_crashes, nodes, n)
+        ),
     )
 
 
@@ -543,24 +679,51 @@ def partition_scenario(
         schedule=partition_schedule,
         expect=_expect_all_links_healed,
         tail_us=3 * SECOND,
+        base_nodes=nodes,
+        # the cut scales with the topology itself: every crossing link of
+        # a seed-derived bipartition flaps, however many there are
+        sizer=lambda n: partition_scenario(name=name, nodes=n),
     )
+
+
+#: Node count of the fixed diamond topology the delay-stress scenarios
+#: default to; their sizers re-base onto Waxman graphs from here.
+_DIAMOND_NODES = 4
 
 
 def latency_jitter_scenario(
     name: str = "latency-jitter",
     jitter_us: int = 2_500,
+    nodes: Optional[int] = None,
+    n_flaps: int = 2,
 ) -> Scenario:
     """Heavy per-packet link jitter: stresses the delay-sensitive ordering
-    into actual rollbacks while determinism must still hold."""
+    into actual rollbacks while determinism must still hold.
+
+    Defaults to the fixed diamond topology the determinism tests use;
+    ``nodes`` (or :meth:`Scenario.sized`) re-bases it onto an ``n``-node
+    Waxman graph with the flap count scaled proportionally.
+    """
     return Scenario(
         name=name,
-        description=f"link flap under {jitter_us}us per-packet latency jitter",
-        topology=_diamond_topology,
+        description=(
+            f"{n_flaps} link flap(s) under {jitter_us}us per-packet latency jitter"
+            + (f" on a {nodes}-node Waxman graph" if nodes else "")
+        ),
+        topology=(
+            _diamond_topology if nodes is None else _waxman_topology(name, nodes)
+        ),
         schedule=lambda graph, seed: flap_storm_schedule(
-            graph, seed, n_flaps=2, min_hold_us=2 * SECOND, max_hold_us=4 * SECOND
+            graph, seed, n_flaps=n_flaps,
+            min_hold_us=2 * SECOND, max_hold_us=4 * SECOND,
         ),
         jitter_us=jitter_us,
         tail_us=3 * SECOND,
+        base_nodes=nodes if nodes is not None else _DIAMOND_NODES,
+        sizer=lambda n: latency_jitter_scenario(
+            name=name, jitter_us=jitter_us, nodes=n,
+            n_flaps=_scale_count(n_flaps, nodes or _DIAMOND_NODES, n),
+        ),
     )
 
 
@@ -568,6 +731,7 @@ def ddos_overload_scenario(
     name: str = "ddos-overload",
     events_per_second: int = 8,
     n_events: int = 8,
+    nodes: Optional[int] = None,
 ) -> Scenario:
     """Event-rate overload, also run through the stop-and-wait DDOS
     baseline stack (:mod:`repro.baselines.ddos`) to contrast blocking
@@ -577,14 +741,23 @@ def ddos_overload_scenario(
         description=(
             f"{events_per_second}/s link-event burst; includes the DDOS "
             "stop-and-wait baseline mode"
+            + (f" (on a {nodes}-node Waxman graph)" if nodes else "")
         ),
-        topology=_diamond_topology,
+        topology=(
+            _diamond_topology if nodes is None else _waxman_topology(name, nodes)
+        ),
         schedule=lambda graph, seed: ddos_overload_schedule(
             graph, seed, events_per_second=events_per_second, n_events=n_events
         ),
         expect=_expect_all_links_healed,
         modes=("vanilla", "defined", "ddos"),
         tail_us=4 * SECOND,
+        base_nodes=nodes if nodes is not None else _DIAMOND_NODES,
+        sizer=lambda n: ddos_overload_scenario(
+            name=name, events_per_second=events_per_second,
+            n_events=_scale_count(n_events, nodes or _DIAMOND_NODES, n),
+            nodes=n,
+        ),
     )
 
 
@@ -602,13 +775,25 @@ def _expect_all_nodes_up(result: ProductionResult) -> bool:
 
 @dataclass(frozen=True)
 class SweepCell:
-    """One point of the grid: a pure function of these three fields
-    (plus ``repeat``, which only disambiguates re-executions)."""
+    """One point of the grid: a pure function of these fields.
+
+    ``seed`` drives the *workload* (topology + external schedule).
+    ``jitter_seed``, when set, re-seeds only the network timing (link
+    jitter, cost sampling) -- the seed-invariance probe runs the same
+    workload under several jitter seeds and checks that deterministic
+    modes collapse to one fingerprint.  ``repeat`` disambiguates the
+    probe's re-executions in reports."""
 
     scenario: str
     seed: int
     mode: str
     repeat: int = 0
+    jitter_seed: Optional[int] = None
+
+    @property
+    def network_seed(self) -> int:
+        """The seed the simulated network's timing draws from."""
+        return self.seed if self.jitter_seed is None else self.jitter_seed
 
 
 @dataclass(frozen=True)
@@ -619,6 +804,9 @@ class CellResult:
     seed: int
     mode: str
     repeat: int = 0
+    #: Jitter seed the network timing actually ran under (None: same as
+    #: ``seed``); carried so seed-invariance splits are attributable.
+    jitter_seed: Optional[int] = None
     fingerprint: str = ""
     replay_fingerprint: Optional[str] = None
     #: Theorem-1 check (``defined`` cells only): replay == production.
@@ -638,6 +826,10 @@ class CellResult:
     @property
     def key(self) -> Tuple[str, int, str]:
         return (self.scenario, self.seed, self.mode)
+
+    @property
+    def network_seed_label(self) -> int:
+        return self.seed if self.jitter_seed is None else self.jitter_seed
 
     @property
     def ok(self) -> bool:
@@ -678,7 +870,10 @@ def run_cell(cell: SweepCell) -> CellResult:
     Builds a fresh topology, schedule and :class:`Simulator` from the
     cell's seed, runs the production network, and -- for ``defined``
     cells -- replays the partial recording through DEFINED-LS and checks
-    the Theorem-1 invariant.  Never raises: failures come back as
+    the Theorem-1 invariant.  The workload (topology + schedule) always
+    derives from ``cell.seed``; the network's timing draws from
+    ``cell.network_seed``, so the seed-invariance probe can vary timing
+    under a pinned workload.  Never raises: failures come back as
     ``error`` so one bad cell cannot sink a whole sweep.
     """
     _ensure_builtins()
@@ -693,7 +888,7 @@ def run_cell(cell: SweepCell) -> CellResult:
             graph,
             schedule,
             mode=cell.mode,
-            seed=cell.seed,
+            seed=cell.network_seed,
             jitter_us=scenario.jitter_us,
             ordering=scenario.ordering,
             daemon_factory=daemon_factory,
@@ -721,6 +916,7 @@ def run_cell(cell: SweepCell) -> CellResult:
             seed=cell.seed,
             mode=cell.mode,
             repeat=cell.repeat,
+            jitter_seed=cell.jitter_seed,
             fingerprint=result.fingerprint,
             replay_fingerprint=replay_fp,
             invariant_ok=invariant,
@@ -737,23 +933,49 @@ def run_cell(cell: SweepCell) -> CellResult:
             seed=cell.seed,
             mode=cell.mode,
             repeat=cell.repeat,
+            jitter_seed=cell.jitter_seed,
             wall_seconds=time.perf_counter() - start,
             error=f"{type(exc).__name__}: {exc}",
         )
 
 
+def _merge_streamed(cell: SweepCell, payload: Dict) -> CellResult:
+    """Rebuild a :class:`CellResult` from a streamed record's payload.
+
+    The fixed-width record intentionally omits the cell identity (the
+    parent already holds the grid); this re-attaches it.
+    """
+    return CellResult(
+        scenario=cell.scenario,
+        seed=cell.seed,
+        mode=cell.mode,
+        repeat=cell.repeat,
+        jitter_seed=cell.jitter_seed,
+        **payload,
+    )
+
+
 def _spawn_portable(name: str) -> bool:
     """Whether a spawned worker (fresh interpreter, builtin catalogue
     only) can resolve this scenario name: either it is a builtin, or it
-    is a composed/jittered spec over builtin components."""
+    is a composed/sized/jittered spec over builtin components."""
     if name in _BUILTIN_NAMES:
         return True
     match = _JITTER_SUFFIX.match(name)
     base = match.group("base") if match else name
-    return all(
-        part in _BUILTIN_NAMES or part.replace("_", "-") in _BUILTIN_NAMES
-        for part in base.split("+")
-    )
+
+    def portable_part(part: str) -> bool:
+        if part in _BUILTIN_NAMES:
+            return True
+        size_match = _SIZE_SUFFIX.match(part)
+        if size_match:
+            part = size_match.group("base")
+        return (
+            part in _BUILTIN_NAMES
+            or part.replace("_", "-") in _BUILTIN_NAMES
+        )
+
+    return all(portable_part(part) for part in base.split("+"))
 
 
 # ----------------------------------------------------------------------
@@ -789,17 +1011,28 @@ class SweepReport:
             c for c in self.cells if c.mode == "ddos" and c.late_deliveries > 0
         ]
 
-    def repeat_mismatches(self) -> List[Tuple[str, int, str]]:
-        """Grid cells whose re-executions disagreed (determinism breach)."""
+    def invariance_splits(self) -> List[Tuple[str, int, str]]:
+        """Seed-invariance breaches: (scenario, seed, mode) groups whose
+        re-executions under different jitter seeds produced more than one
+        fingerprint in a *deterministic* mode.
+
+        ``defined`` and ``ddos`` guarantee timing-independence -- the
+        same workload must fingerprint identically under any jitter seed.
+        ``vanilla``/``logging`` carry no such guarantee (their splits are
+        the paper's motivation), so they are reported in the distinct-
+        fingerprint matrix but are not failures."""
         seen: Dict[Tuple[str, int, str], str] = {}
-        bad = []
+        bad: List[Tuple[str, int, str]] = []
         for c in self.cells:
-            if c.error is not None:
+            if c.error is not None or c.mode not in DETERMINISTIC_MODES:
                 continue
             prior = seen.setdefault(c.key, c.fingerprint)
             if prior != c.fingerprint and c.key not in bad:
                 bad.append(c.key)
         return bad
+
+    # backwards-compatible alias (pre-probe name)
+    repeat_mismatches = invariance_splits
 
     def ok(self) -> bool:
         return not (
@@ -807,7 +1040,7 @@ class SweepReport:
             or self.invariant_violations()
             or self.expectation_failures()
             or self.ordering_misses()
-            or self.repeat_mismatches()
+            or self.invariance_splits()
         )
 
     # -- aggregation ---------------------------------------------------
@@ -881,7 +1114,8 @@ class SweepReport:
         parts.append("")
         parts.append(render_matrix(
             f"distinct fingerprints across {len(self.seeds)} seed(s) "
-            f"x {self.repeats} repeat(s)  [defined: 1 per seed == deterministic]",
+            f"x {self.repeats} jitter-seed repeat(s)  "
+            "[defined/ddos: 1 per seed == seed-invariant]",
             "scenario",
             self.modes(),
             matrix,
@@ -892,7 +1126,7 @@ class SweepReport:
             ("Theorem-1 violations", self.invariant_violations()),
             ("expectation failures", self.expectation_failures()),
             ("ordering misses (ddos)", self.ordering_misses()),
-            ("repeat mismatches", self.repeat_mismatches()),
+            ("seed-invariance splits", self.invariance_splits()),
         ]:
             if items:
                 verdict.append(f"{label}: {len(items)}")
@@ -908,14 +1142,89 @@ class SweepReport:
         )
         return "\n".join(parts)
 
+    def to_dict(self) -> Dict:
+        """JSON-serializable divergence report (the CI artifact).
+
+        Summarizes the grid and carries every divergence in full --
+        errors, Theorem-1 violations, expectation failures, ordering
+        misses, and seed-invariance splits (with the per-jitter-seed
+        fingerprints that refused to collapse)."""
+        def cell_dict(c: CellResult) -> Dict:
+            return {
+                "scenario": c.scenario,
+                "seed": c.seed,
+                "mode": c.mode,
+                "repeat": c.repeat,
+                "error": c.error,
+                "invariant_ok": c.invariant_ok,
+                "expected_ok": c.expected_ok,
+                "late_deliveries": c.late_deliveries,
+                "fingerprint": c.fingerprint,
+                "replay_fingerprint": c.replay_fingerprint,
+            }
+
+        splits = []
+        for scenario, seed, mode in self.invariance_splits():
+            group = [
+                c for c in self.cells
+                if c.key == (scenario, seed, mode) and c.error is None
+            ]
+            splits.append({
+                "scenario": scenario,
+                "seed": seed,
+                "mode": mode,
+                "fingerprints": {
+                    str(c.network_seed_label): c.fingerprint for c in group
+                },
+            })
+
+        return {
+            "ok": self.ok(),
+            "grid_cells": len(self.cells),
+            "seeds": list(self.seeds),
+            "repeats": self.repeats,
+            "workers": self.workers,
+            "wall_seconds": self.wall_seconds,
+            "errors": [cell_dict(c) for c in self.errors()],
+            "theorem1_violations": [
+                cell_dict(c) for c in self.invariant_violations()
+            ],
+            "expectation_failures": [
+                cell_dict(c) for c in self.expectation_failures()
+            ],
+            "ordering_misses": [cell_dict(c) for c in self.ordering_misses()],
+            "invariance_splits": splits,
+        }
+
+
+#: Slots in the shared-memory result ring.  Small by design: the parent
+#: drains continuously, so the ring only needs to absorb bursts -- its
+#: size is what keeps parent memory flat on 1000+-cell grids.
+STREAM_RING_CAPACITY = 128
+
 
 class SweepRunner:
     """Shard a scenario x seed x mode grid across worker processes.
 
     ``workers=1`` runs everything inline (same process, deterministic
     order); ``workers>1`` fans cells out to a process pool.  Either way
-    the result list is ordered by the grid, so two runs of the same grid
-    are comparable cell by cell.
+    :meth:`run` returns results ordered by the grid, so two runs of the
+    same grid are comparable cell by cell.
+
+    With ``workers > 1`` and ``transport="shm"`` (the default), workers
+    append fixed-width result records to a bounded
+    :mod:`multiprocessing.shared_memory` ring that the parent consumes
+    incrementally (:mod:`repro.sweep_stream`): progress callbacks fire
+    in *completion* order as cells finish, and the parent never holds
+    more than the ring's worth of in-flight transport state.
+    ``transport="futures"`` keeps the one-pickled-future-per-cell path
+    (the pre-streaming behavior, retained for comparison benchmarks).
+
+    ``repeats=K`` arms the **seed-invariance probe**: every
+    (scenario, seed, mode) cell runs under ``K`` jitter seeds (repeat 0
+    uses the workload seed itself; later repeats use seed-split
+    derivations), and :meth:`SweepReport.invariance_splits` demands the
+    deterministic modes collapse to one fingerprint per cell.
     """
 
     def __init__(
@@ -925,13 +1234,21 @@ class SweepRunner:
         modes: Optional[Sequence[str]] = None,
         workers: int = 1,
         repeats: int = 1,
+        transport: str = "shm",
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if repeats < 1:
             raise ValueError("repeats must be >= 1")
+        if transport not in ("shm", "futures"):
+            raise ValueError(f"unknown transport {transport!r}")
+        # the default grid: every registered scenario except the @N size
+        # variants, which opt in by name (an 80-node cell takes minutes;
+        # pulling it into every smoke sweep would be a footgun)
         self.scenario_names = (
-            list(scenarios) if scenarios is not None else scenario_names()
+            list(scenarios)
+            if scenarios is not None
+            else scenario_names(include_sized=False)
         )
         for name in self.scenario_names:
             get_scenario(name)  # fail fast on unknown names
@@ -939,6 +1256,7 @@ class SweepRunner:
         self.modes = tuple(modes) if modes is not None else None
         self.workers = workers
         self.repeats = repeats
+        self.transport = transport
 
     def _worker_context(self):
         """Multiprocessing context for the pool.
@@ -976,34 +1294,209 @@ class SweepRunner:
             for seed in self.seeds:
                 for mode in modes:
                     for repeat in range(self.repeats):
-                        cells.append(SweepCell(name, seed, mode, repeat))
+                        # repeat 0 keeps the legacy identity (network
+                        # seeded by the workload seed); later repeats are
+                        # the invariance probe's extra jitter seeds
+                        jitter_seed = (
+                            None if repeat == 0
+                            else seed_split(seed, f"jitter-repeat|{repeat}")
+                        )
+                        cells.append(
+                            SweepCell(name, seed, mode, repeat, jitter_seed)
+                        )
         return cells
 
     def run(self, progress: Optional[Callable[[CellResult], None]] = None) -> SweepReport:
+        """Run the whole grid and aggregate a :class:`SweepReport`.
+
+        ``progress`` fires once per finished cell -- in grid order for
+        serial/futures execution, in completion order for the streamed
+        transport.  The report's cell list is always grid-ordered.
+        """
         cells = self.grid()
         start = time.perf_counter()
-        results: List[CellResult] = []
-        if self.workers == 1:
-            for cell in cells:
-                result = run_cell(cell)
-                if progress is not None:
-                    progress(result)
-                results.append(result)
-        else:
-            with ProcessPoolExecutor(
-                max_workers=self.workers, mp_context=self._worker_context()
-            ) as pool:
-                for result in pool.map(run_cell, cells):
-                    if progress is not None:
-                        progress(result)
-                    results.append(result)
+        by_index: Dict[int, CellResult] = {}
+        for index, result in self._iter_results(cells, progress):
+            by_index[index] = result
         return SweepReport(
-            cells=results,
+            cells=[by_index[i] for i in range(len(cells))],
             seeds=self.seeds,
             workers=self.workers,
             repeats=self.repeats,
             wall_seconds=time.perf_counter() - start,
         )
+
+    def stream(
+        self, progress: Optional[Callable[[CellResult], None]] = None
+    ):
+        """Yield :class:`CellResult` objects as cells finish, without
+        retaining them: the constant-memory consumption surface for very
+        large grids (aggregate on the fly, or ship each record
+        elsewhere).  Ordering follows :meth:`run`'s ``progress`` rules.
+        """
+        for _index, result in self._iter_results(self.grid(), progress):
+            yield result
+
+    # -- execution strategies ------------------------------------------
+    def _iter_results(
+        self,
+        cells: Sequence[SweepCell],
+        progress: Optional[Callable[[CellResult], None]],
+    ):
+        if self.workers == 1 or not cells:
+            for index, cell in enumerate(cells):
+                result = run_cell(cell)
+                if progress is not None:
+                    progress(result)
+                yield index, result
+        elif self.transport == "futures":
+            yield from self._iter_futures(cells, progress)
+        else:
+            yield from self._iter_streamed(cells, progress)
+
+    def _iter_futures(self, cells, progress):
+        """Legacy transport: one pickled result future per grid cell."""
+        with ProcessPoolExecutor(
+            max_workers=self.workers, mp_context=self._worker_context()
+        ) as pool:
+            for index, result in enumerate(pool.map(run_cell, cells)):
+                if progress is not None:
+                    progress(result)
+                yield index, result
+
+    def _iter_streamed(self, cells, progress):
+        """Shared-memory transport: workers append fixed-width records
+        to a bounded ring; the parent consumes incrementally.
+
+        A worker that dies without reporting (hard crash, OOM kill)
+        surfaces as a failed cell -- the pool breaks, the ring is
+        drained, and every unreported cell yields a synthesized error
+        result instead of hanging the sweep.
+        """
+        import multiprocessing
+        from concurrent.futures import wait
+
+        from repro.sweep_stream import ResultRing, decode_record
+
+        ctx = self._worker_context() or multiprocessing.get_context()
+        try:
+            ring = ResultRing.create(
+                capacity=max(2, min(len(cells), STREAM_RING_CAPACITY)),
+                lock=ctx.Lock(),
+            )
+        except OSError as exc:  # pragma: no cover - no usable shared memory
+            import warnings
+
+            warnings.warn(
+                f"shared-memory result ring unavailable ({exc}); falling "
+                "back to the per-future transport",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            yield from self._iter_futures(cells, progress)
+            return
+
+        from repro.sweep_stream import stream_worker_init, run_streamed_cell
+
+        seen: set = set()
+
+        def drain():
+            for raw in ring.pop_all():
+                index, payload = decode_record(raw)
+                seen.add(index)
+                result = _merge_streamed(cells[index], payload)
+                if progress is not None:
+                    progress(result)
+                yield index, result
+
+        from concurrent.futures.process import BrokenProcessPool
+
+        #: pool-wide breakage (worker hard death): stop submitting.
+        fatal: Optional[BaseException] = None
+        #: per-cell transport failures (e.g. a ring push timeout): the
+        #: pool is healthy, so the rest of the grid keeps running.
+        cell_failures: Dict[int, BaseException] = {}
+        try:
+            with ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=ctx,
+                initializer=stream_worker_init,
+                initargs=(ring.name, ring.lock, ring.capacity),
+            ) as pool:
+                # Windowed submission: per-cell futures are exactly the
+                # parent-side overhead the ring exists to avoid, so only
+                # a scheduling window's worth are ever in flight --
+                # enough queue depth to keep every worker busy, O(window)
+                # instead of O(grid) parent state.
+                window = max(4 * self.workers, 16)
+                backlog = iter(enumerate(cells))
+                pending: Dict = {}  # future -> cell index
+
+                def top_up() -> None:
+                    nonlocal fatal
+                    while fatal is None and len(pending) < window:
+                        try:
+                            index, cell = next(backlog)
+                        except StopIteration:
+                            return
+                        try:
+                            future = pool.submit(run_streamed_cell, index, cell)
+                        except Exception as exc:  # pool broke mid-grid
+                            fatal = exc
+                            return
+                        pending[future] = index
+
+                try:
+                    top_up()
+                    while pending:
+                        done, _ = wait(list(pending), timeout=0.05)
+                        for future in done:
+                            index = pending.pop(future)
+                            exc = future.exception()
+                            if exc is None:
+                                continue
+                            if isinstance(exc, BrokenProcessPool):
+                                if fatal is None:
+                                    fatal = exc
+                            else:
+                                cell_failures[index] = exc
+                        if fatal is None:
+                            top_up()
+                        yield from drain()
+                except GeneratorExit:
+                    # consumer abandoned the stream: stop writers fast so
+                    # pool shutdown doesn't wait out blocked pushes
+                    ring.close_for_writers()
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise
+            yield from drain()
+            for index, cell in enumerate(cells):
+                if index in seen:
+                    continue
+                failure = cell_failures.get(index)
+                if failure is not None:
+                    error = (
+                        "cell failed to report its result: "
+                        f"{type(failure).__name__}: {failure}"
+                    )
+                else:
+                    error = (
+                        "worker process died before reporting this cell"
+                        + (f": {fatal}" if fatal is not None else "")
+                    )
+                result = CellResult(
+                    scenario=cell.scenario,
+                    seed=cell.seed,
+                    mode=cell.mode,
+                    repeat=cell.repeat,
+                    jitter_seed=cell.jitter_seed,
+                    error=error,
+                )
+                if progress is not None:
+                    progress(result)
+                yield index, result
+        finally:
+            ring.destroy()
 
 
 # ----------------------------------------------------------------------
@@ -1164,7 +1657,12 @@ class FuzzRunner:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         if scenarios is None:
-            scenarios = [n for n in scenario_names() if "~" not in n]
+            # base catalogue only: no pre-jittered variants (the runner
+            # owns the jitter axis) and no @N size variants (an 80-node
+            # jitter grid is an explicit opt-in, not a default)
+            scenarios = [
+                n for n in scenario_names() if "~" not in n and "@" not in n
+            ]
         else:
             # the runner owns the jitter axis: strip any ~jNus suffix the
             # caller passed (e.g. a registered '*~j1us' builtin) so grids

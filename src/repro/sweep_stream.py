@@ -1,0 +1,374 @@
+"""Shared-memory result streaming for very large sweep grids.
+
+The original :class:`~repro.sweep.SweepRunner` moved every finished
+:class:`~repro.sweep.CellResult` back to the parent as a pickled object
+inside a :class:`concurrent.futures.Future`.  That is fine for dozens of
+cells, but on 1000+-cell grids it keeps a future (plus queue buffers and
+a pickle) alive per cell in the parent, and results only become visible
+at the executor's pace, not the workers'.
+
+This module replaces that hop with a bounded **shared-memory ring** of
+fixed-width records:
+
+* the parent creates one :class:`multiprocessing.shared_memory`
+  segment sized ``capacity x RECORD_SIZE`` plus a small header
+  (write/read cursors, capacity, a writers-closed flag);
+* each worker, having finished a cell, serializes the result's payload
+  into one :data:`RECORD` struct and appends it under a shared lock --
+  blocking briefly (with a timeout) when the ring is full;
+* the parent polls the cursors and copies completed records out in
+  write order -- which is cell *completion* order -- so progress is
+  live and the parent's transport state never exceeds the ring.
+
+The record intentionally carries only the cell *index* plus the result
+payload: the parent already holds the grid, so scenario names (which can
+be arbitrarily long compositions) never need to fit a fixed-width field.
+
+Concurrency notes: writers serialize record-write + cursor-bump under
+the lock; the parent is the only writer of the read cursor and only
+advances it after copying records out.  Cross-process visibility of the
+parent's unlocked cursor loads rides on the lock's acquire/release
+barriers on the writer side plus 8-byte-aligned cursor stores; cursors
+are monotonically increasing, so a stale read only delays consumption by
+one poll interval, never corrupts it.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Tuple
+
+#: Header layout: write cursor, read cursor (both monotonically
+#: increasing record counts), capacity, record size, writers-closed flag.
+_HEADER = struct.Struct("<QQIIB")
+#: Records start at a fixed offset so header and data never share a
+#: cache line.
+_DATA_OFFSET = 64
+
+_FP_BYTES = 64     # sha256 hexdigest length (see repro.core.fingerprint)
+_ERROR_BYTES = 256
+
+#: One streamed cell result: index + flags + counters + fingerprints +
+#: (truncated) error text.  ``<`` keeps the layout packed and
+#: platform-independent.
+RECORD = struct.Struct(
+    "<I"                 # cell index in the submitted grid
+    "B"                  # flags (see _F_* bits)
+    "B"                  # fingerprint length
+    "B"                  # replay fingerprint length
+    "x"                  # pad
+    "H"                  # error length (post-truncation, bytes)
+    "xx"                 # pad
+    "I"                  # late deliveries
+    "I"                  # rollbacks
+    "Q"                  # deliveries
+    "Q"                  # recording bytes
+    "d"                  # wall seconds
+    f"{_FP_BYTES}s"      # fingerprint (utf-8 hex)
+    f"{_FP_BYTES}s"      # replay fingerprint (utf-8 hex)
+    f"{_ERROR_BYTES}s"   # error message (utf-8, truncated)
+)
+RECORD_SIZE = RECORD.size
+
+_F_ERROR = 1 << 0
+_F_INVARIANT_PRESENT = 1 << 1
+_F_INVARIANT_OK = 1 << 2
+_F_EXPECTED_PRESENT = 1 << 3
+_F_EXPECTED_OK = 1 << 4
+_F_RECORDING_PRESENT = 1 << 5
+_F_REPLAY_PRESENT = 1 << 6
+
+
+def _fp_bytes(fingerprint: Optional[str], field: str) -> bytes:
+    if not fingerprint:
+        return b""
+    raw = fingerprint.encode("utf-8")
+    if len(raw) > _FP_BYTES:
+        raise ValueError(
+            f"{field} is {len(raw)} bytes, exceeding the fixed-width "
+            f"record field ({_FP_BYTES}); widen _FP_BYTES in "
+            "repro.sweep_stream"
+        )
+    return raw
+
+
+def encode_result(index: int, result) -> bytes:
+    """Pack a :class:`~repro.sweep.CellResult` payload into one record."""
+    flags = 0
+    error = b""
+    if result.error is not None:
+        flags |= _F_ERROR
+        error = result.error.encode("utf-8", errors="replace")
+        if len(error) > _ERROR_BYTES:
+            error = error[: _ERROR_BYTES - 3] + b"..."
+    if result.invariant_ok is not None:
+        flags |= _F_INVARIANT_PRESENT
+        if result.invariant_ok:
+            flags |= _F_INVARIANT_OK
+    if result.expected_ok is not None:
+        flags |= _F_EXPECTED_PRESENT
+        if result.expected_ok:
+            flags |= _F_EXPECTED_OK
+    if result.recording_bytes is not None:
+        flags |= _F_RECORDING_PRESENT
+    fingerprint = _fp_bytes(result.fingerprint, "fingerprint")
+    replay = b""
+    if result.replay_fingerprint is not None:
+        flags |= _F_REPLAY_PRESENT
+        replay = _fp_bytes(result.replay_fingerprint, "replay fingerprint")
+    return RECORD.pack(
+        index,
+        flags,
+        len(fingerprint),
+        len(replay),
+        len(error),
+        result.late_deliveries,
+        result.rollbacks,
+        result.deliveries,
+        result.recording_bytes or 0,
+        result.wall_seconds,
+        fingerprint,
+        replay,
+        error,
+    )
+
+
+def decode_record(raw: bytes) -> Tuple[int, Dict]:
+    """Unpack one record into ``(cell_index, CellResult field dict)``."""
+    (
+        index,
+        flags,
+        fp_len,
+        replay_len,
+        error_len,
+        late,
+        rollbacks,
+        deliveries,
+        recording_bytes,
+        wall_seconds,
+        fingerprint,
+        replay,
+        error,
+    ) = RECORD.unpack(raw)
+    return index, {
+        "fingerprint": fingerprint[:fp_len].decode("utf-8"),
+        "replay_fingerprint": (
+            replay[:replay_len].decode("utf-8")
+            if flags & _F_REPLAY_PRESENT
+            else None
+        ),
+        "invariant_ok": (
+            bool(flags & _F_INVARIANT_OK)
+            if flags & _F_INVARIANT_PRESENT
+            else None
+        ),
+        "expected_ok": (
+            bool(flags & _F_EXPECTED_OK)
+            if flags & _F_EXPECTED_PRESENT
+            else None
+        ),
+        "late_deliveries": late,
+        "rollbacks": rollbacks,
+        "deliveries": deliveries,
+        "recording_bytes": (
+            recording_bytes if flags & _F_RECORDING_PRESENT else None
+        ),
+        "wall_seconds": wall_seconds,
+        "error": (
+            error[:error_len].decode("utf-8", errors="replace")
+            if flags & _F_ERROR
+            else None
+        ),
+    }
+
+
+class RingClosedError(RuntimeError):
+    """The consumer marked the ring closed; writers must stop."""
+
+
+class ResultRing:
+    """A bounded multi-producer, single-consumer ring of fixed-width
+    records in shared memory.
+
+    The parent :meth:`create`\\ s it and :meth:`pop_all`\\ s records;
+    workers :meth:`attach` by name and :meth:`push`.  All producers
+    share one :class:`multiprocessing.Lock`; the consumer takes the lock
+    only to read/advance cursors, never while copying record bytes.
+    """
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        capacity: int,
+        lock,
+        owner: bool,
+    ) -> None:
+        self.shm = shm
+        self.capacity = capacity
+        self.lock = lock
+        self._owner = owner
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def create(cls, capacity: int, lock) -> "ResultRing":
+        if capacity < 1:
+            raise ValueError("ring capacity must be >= 1")
+        size = _DATA_OFFSET + capacity * RECORD_SIZE
+        shm = shared_memory.SharedMemory(create=True, size=size)
+        _HEADER.pack_into(shm.buf, 0, 0, 0, capacity, RECORD_SIZE, 0)
+        return cls(shm, capacity, lock, owner=True)
+
+    @classmethod
+    def attach(cls, name: str, lock) -> "ResultRing":
+        # Attaching re-registers the segment with the resource tracker
+        # (bpo-38119), but pool workers inherit the parent's tracker
+        # process, whose cache is a set -- the duplicate registration is
+        # idempotent and the parent's unlink clears it exactly once.
+        shm = shared_memory.SharedMemory(name=name)
+        _w, _r, capacity, record_size, _closed = _HEADER.unpack_from(shm.buf, 0)
+        if record_size != RECORD_SIZE:
+            raise ValueError(
+                f"ring record size {record_size} != expected {RECORD_SIZE} "
+                "(parent and worker run different code?)"
+            )
+        return cls(shm, capacity, lock, owner=False)
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+    # -- header accessors ----------------------------------------------
+    def _cursors(self) -> Tuple[int, int, bool]:
+        write, read, _cap, _rs, closed = _HEADER.unpack_from(self.shm.buf, 0)
+        return write, read, bool(closed)
+
+    def _set_write(self, value: int) -> None:
+        struct.pack_into("<Q", self.shm.buf, 0, value)
+
+    def _set_read(self, value: int) -> None:
+        struct.pack_into("<Q", self.shm.buf, 8, value)
+
+    def close_for_writers(self) -> None:
+        """Tell producers to stop (consumer is abandoning the ring)."""
+        struct.pack_into("<B", self.shm.buf, 24, 1)
+
+    # -- producer side -------------------------------------------------
+    def push(
+        self,
+        record: bytes,
+        poll_interval: float = 0.001,
+        timeout: float = 30.0,
+    ) -> None:
+        """Append one record, blocking while the ring is full.
+
+        ``timeout`` bounds the wait so a dead consumer turns into a
+        visible error in the worker instead of a silent hang.
+        """
+        if len(record) != RECORD_SIZE:
+            raise ValueError(
+                f"record is {len(record)} bytes, expected {RECORD_SIZE}"
+            )
+        deadline = time.monotonic() + timeout
+        while True:
+            # acquire with a bound: a sibling worker hard-killed *inside*
+            # its critical section leaves a non-robust POSIX semaphore
+            # locked forever; a bounded wait turns that deadlock into a
+            # visible TimeoutError in this worker
+            if self.lock.acquire(timeout=poll_interval * 50):
+                try:
+                    write, read, closed = self._cursors()
+                    if closed:
+                        raise RingClosedError("result ring closed by consumer")
+                    if write - read < self.capacity:
+                        offset = _DATA_OFFSET + (write % self.capacity) * RECORD_SIZE
+                        self.shm.buf[offset:offset + RECORD_SIZE] = record
+                        self._set_write(write + 1)
+                        return
+                finally:
+                    self.lock.release()
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    "result ring full and consumer not draining "
+                    f"(capacity {self.capacity})"
+                )
+            time.sleep(poll_interval)
+
+    # -- consumer side -------------------------------------------------
+    def pop_all(self, lock_timeout: float = 1.0) -> List[bytes]:
+        """Copy out every completed record, in write (completion) order.
+
+        Lock acquisition is bounded: if a hard-killed worker took the
+        (non-robust) lock to its grave, the consumer must degrade to
+        "no records this poll" -- the sweep then finishes via the
+        broken-pool path -- rather than deadlock forever.
+        """
+        if not self.lock.acquire(timeout=lock_timeout):
+            return []
+        try:
+            write, read, _closed = self._cursors()
+        finally:
+            self.lock.release()
+        if write == read:
+            return []
+        out = []
+        for cursor in range(read, write):
+            offset = _DATA_OFFSET + (cursor % self.capacity) * RECORD_SIZE
+            out.append(bytes(self.shm.buf[offset:offset + RECORD_SIZE]))
+        # only advance the cursor once the bytes are copied: a slot is
+        # reusable by writers the moment read moves past it
+        if self.lock.acquire(timeout=lock_timeout):
+            try:
+                self._set_read(write)
+            finally:
+                self.lock.release()
+        else:
+            # writers are wedged anyway (lock lost with a dead worker);
+            # advancing without the lock is safe for the data -- only
+            # the parent writes the read cursor -- and lets any live
+            # readers of the header see progress
+            self._set_read(write)
+        return out
+
+    # -- lifecycle ------------------------------------------------------
+    def destroy(self) -> None:
+        """Close, and unlink if this end owns the segment."""
+        try:
+            self.shm.close()
+        finally:
+            if self._owner:
+                try:
+                    self.shm.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
+
+
+# ----------------------------------------------------------------------
+# worker-process plumbing (module-level so it pickles by reference)
+# ----------------------------------------------------------------------
+
+_WORKER_RING: Optional[ResultRing] = None
+
+
+def stream_worker_init(ring_name: str, lock, capacity: int) -> None:
+    """Process-pool initializer: attach this worker to the result ring."""
+    global _WORKER_RING
+    ring = ResultRing.attach(ring_name, lock)
+    if ring.capacity != capacity:
+        raise ValueError("ring capacity mismatch between parent and worker")
+    _WORKER_RING = ring
+
+
+def run_streamed_cell(index: int, cell) -> int:
+    """Execute one grid cell and stream its result record to the parent.
+
+    The returned index rides the (tiny) future purely as an ack; the
+    payload travels through the ring.
+    """
+    from repro.sweep import run_cell
+
+    result = run_cell(cell)
+    assert _WORKER_RING is not None, "worker not attached to a result ring"
+    _WORKER_RING.push(encode_result(index, result))
+    return index

@@ -83,7 +83,7 @@ def to_network(
     return net
 
 
-from repro.topology.brite import barabasi_albert, waxman  # noqa: E402
+from repro.topology.brite import barabasi_albert, waxman, waxman_family  # noqa: E402
 from repro.topology.rocketfuel import rocketfuel_topology  # noqa: E402
 from repro.topology.traces import synth_tier1_trace  # noqa: E402
 
@@ -94,4 +94,5 @@ __all__ = [
     "synth_tier1_trace",
     "to_network",
     "waxman",
+    "waxman_family",
 ]

@@ -108,6 +108,36 @@ def waxman(
     return TopologyGraph(name=f"waxman-{n}", nodes=nodes, edges=edges)
 
 
+def waxman_family(
+    tag: str,
+    n: int,
+    alpha: float = 0.15,
+    beta: float = 0.2,
+    seed_base: int = 1_000,
+):
+    """A seed-indexed family of ``n``-node Waxman graphs.
+
+    Returns a factory mapping a cell seed to a fresh topology whose name
+    embeds both the family tag and the seed, so RNG streams keyed on the
+    graph name (the fault-injection generators') never collide across
+    families, sizes, or seeds.  This is the canonical topology factory
+    for size-parameterized sweep scenarios: ``scenario.sized(n)`` re-bases
+    every scenario family onto ``waxman_family(tag, n)``.
+    """
+    if n < 2:
+        raise ValueError("need at least two nodes")
+
+    def factory(seed: int) -> TopologyGraph:
+        graph = waxman(n, alpha=alpha, beta=beta, seed=seed_base + seed)
+        return TopologyGraph(
+            name=f"{tag}-{graph.name}-s{seed}",
+            nodes=graph.nodes,
+            edges=graph.edges,
+        )
+
+    return factory
+
+
 def barabasi_albert(n: int, m: int = 2, seed: int = 0) -> TopologyGraph:
     """Barabási–Albert preferential attachment with geographic delays.
 

@@ -91,3 +91,33 @@ def flap_schedule(
     schedule.add(ExternalEvent(time_us=down_us, kind="link_down", target=link))
     schedule.add(ExternalEvent(time_us=up_us, kind="link_up", target=link))
     return schedule
+
+
+def scenario_resolution_digest(names: List[str], seed: int = 1) -> Dict[str, Tuple]:
+    """Resolve scenario names and digest their concrete environments.
+
+    Runs in worker processes (any multiprocessing start method: this
+    module is importable by name) to prove that dynamic ``name@N`` /
+    ``a+b`` / ``~jNus`` resolution is a pure function of the builtin
+    catalogue -- the digests must match the parent's exactly.
+    """
+    import hashlib
+
+    from repro.sweep import get_scenario
+
+    out: Dict[str, Tuple] = {}
+    for name in names:
+        scenario = get_scenario(name)
+        graph = scenario.topology(seed)
+        schedule = scenario.schedule(graph, seed)
+        events = "\n".join(
+            f"{e.time_us}|{e.kind}|{e.target!r}" for e in schedule.sorted()
+        )
+        topo = "\n".join(f"{a}|{b}|{d}" for a, b, d in sorted(graph.edges))
+        out[name] = (
+            scenario.name,
+            graph.node_count(),
+            hashlib.sha256(topo.encode()).hexdigest(),
+            hashlib.sha256(events.encode()).hexdigest(),
+        )
+    return out

@@ -81,6 +81,40 @@ class TestCommands:
         assert "verdict: OK" in out
         assert "theorem1" in out
 
+    def test_sweep_list_includes_size_variants(self, capsys):
+        rc = main(["sweep", "--list"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "flap-storm@40" in out and "partition@80" in out
+
+    def test_sweep_repeats_with_report_out(self, tmp_path, capsys):
+        import json
+
+        report_path = tmp_path / "grid.json"
+        rc = main([
+            "sweep", "--scenarios", "latency-jitter", "--modes", "defined",
+            "--seeds", "1", "--repeats", "3",
+            "--report-out", str(report_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "x 3 jitter-seed repeat(s)" in out
+        assert "verdict: OK" in out
+        payload = json.loads(report_path.read_text())
+        assert payload["ok"] is True
+        assert payload["repeats"] == 3
+        assert payload["invariance_splits"] == []
+
+    def test_sweep_sizes_flag_rescales_selection(self, capsys):
+        rc = main([
+            "sweep", "--scenarios", "latency-jitter", "--sizes", "12",
+            "--modes", "defined", "--seeds", "1", "--verbose",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "latency-jitter@12/defined" in out
+        assert "verdict: OK" in out
+
     def test_scale_sweep_still_works(self, capsys):
         rc = main(["scale", "--sizes", "12", "--events", "2"])
         assert rc == 0
@@ -143,7 +177,10 @@ class TestCommands:
                 cli_mod.cmd_sweep(args)
         finally:
             sweep_mod.SweepRunner = original
-        assert set(scenario_names()) <= set(captured["names"])
+        # "all" covers the whole unsized catalogue; @N size variants are
+        # an explicit opt-in (an 80-node cell runs for minutes)
+        assert set(scenario_names(include_sized=False)) <= set(captured["names"])
+        assert not [n for n in captured["names"] if "@" in n]
         assert "latency-jitter+ddos-overload" in captured["names"]
         # 'flap-storm+partition' is both registered and a compose spec
         # (given in its underscore spelling, even): it must appear

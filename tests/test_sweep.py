@@ -185,12 +185,18 @@ class TestSweepRunner:
         assert parallel.ok(), parallel.render()
         assert serial.fingerprint_index() == parallel.fingerprint_index()
 
-    def test_repeats_detect_no_mismatch(self):
+    def test_repeats_probe_seed_invariance(self):
         report = SweepRunner(
             scenarios=["latency-jitter"], seeds=(1,), repeats=2
         ).run()
-        assert report.repeat_mismatches() == []
+        # the repeats axis varies the *jitter* seed; deterministic modes
+        # must still collapse to one fingerprint per (scenario, seed)
+        assert report.invariance_splits() == []
+        assert report.repeat_mismatches() == []  # legacy alias
         assert len(report.cells) == 4  # 2 modes x 2 repeats
+        defined = [c for c in report.cells if c.mode == "defined"]
+        assert {c.network_seed_label for c in defined} != {1}
+        assert len({c.fingerprint for c in defined}) == 1
 
     def test_every_builtin_scenario_upholds_theorem1(self):
         report = SweepRunner(seeds=(1,)).run()
@@ -209,6 +215,18 @@ class TestSweepRunner:
             SweepRunner(workers=0)
         with pytest.raises(ValueError):
             SweepRunner(repeats=0)
+        with pytest.raises(ValueError):
+            SweepRunner(transport="carrier-pigeon")
+
+    def test_result_transports_agree(self):
+        """The shared-memory streaming transport and the legacy
+        per-future transport are interchangeable, cell for cell."""
+        kwargs = dict(scenarios=["latency-jitter"], seeds=(1,), repeats=2)
+        shm = SweepRunner(workers=2, transport="shm", **kwargs).run()
+        futures = SweepRunner(workers=2, transport="futures", **kwargs).run()
+        assert shm.ok(), shm.render()
+        assert futures.ok(), futures.render()
+        assert shm.fingerprint_index() == futures.fingerprint_index()
 
 
 class TestCrashRestartDeterminism:

@@ -1,0 +1,270 @@
+"""Tests for the shared-memory result streaming path
+(:mod:`repro.sweep_stream` + ``SweepRunner(transport="shm")``).
+
+Covers the record codec, the bounded ring's ordering/backpressure
+semantics, and -- as a marked-``slow`` soak -- a 1000-cell grid that
+must stream to completion with flat parent memory, plus a worker crash
+that must surface as failed cells rather than a hang.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+import tracemalloc
+
+import pytest
+
+import repro.sweep as sweep_mod
+from repro.sweep import CellResult, SweepRunner
+from repro.sweep_stream import (
+    RECORD_SIZE,
+    ResultRing,
+    RingClosedError,
+    decode_record,
+    encode_result,
+)
+
+
+def _result(**overrides) -> CellResult:
+    base = dict(
+        scenario="flap-storm", seed=3, mode="defined", repeat=1,
+        jitter_seed=77, fingerprint="ab" * 32, replay_fingerprint="ab" * 32,
+        invariant_ok=True, expected_ok=None, late_deliveries=2, rollbacks=9,
+        deliveries=12345, recording_bytes=4096, wall_seconds=0.25,
+    )
+    base.update(overrides)
+    return CellResult(**base)
+
+
+class TestRecordCodec:
+    def test_round_trip(self):
+        raw = encode_result(42, _result())
+        assert len(raw) == RECORD_SIZE
+        index, payload = decode_record(raw)
+        assert index == 42
+        assert payload == {
+            "fingerprint": "ab" * 32,
+            "replay_fingerprint": "ab" * 32,
+            "invariant_ok": True,
+            "expected_ok": None,
+            "late_deliveries": 2,
+            "rollbacks": 9,
+            "deliveries": 12345,
+            "recording_bytes": 4096,
+            "wall_seconds": 0.25,
+            "error": None,
+        }
+
+    def test_round_trip_none_fields(self):
+        raw = encode_result(0, _result(
+            replay_fingerprint=None, invariant_ok=None, expected_ok=False,
+            recording_bytes=None,
+        ))
+        _, payload = decode_record(raw)
+        assert payload["replay_fingerprint"] is None
+        assert payload["invariant_ok"] is None
+        assert payload["expected_ok"] is False
+        assert payload["recording_bytes"] is None
+
+    def test_error_text_truncates(self):
+        raw = encode_result(1, _result(error="boom " * 200))
+        _, payload = decode_record(raw)
+        assert payload["error"].startswith("boom ")
+        assert payload["error"].endswith("...")
+        assert len(payload["error"].encode()) <= 256
+
+    def test_oversized_fingerprint_rejected_loudly(self):
+        with pytest.raises(ValueError, match="widen _FP_BYTES"):
+            encode_result(1, _result(fingerprint="f" * 65))
+
+
+class TestResultRing:
+    def _make(self, capacity):
+        return ResultRing.create(capacity=capacity, lock=multiprocessing.Lock())
+
+    def test_fifo_order_with_wraparound(self):
+        ring = self._make(capacity=3)
+        try:
+            records = [encode_result(i, _result(seed=i)) for i in range(7)]
+            popped = []
+            for batch in (records[:3], records[3:6], records[6:]):
+                for raw in batch:
+                    ring.push(raw)
+                popped.extend(decode_record(r)[0] for r in ring.pop_all())
+            assert popped == list(range(7))
+        finally:
+            ring.destroy()
+
+    def test_push_blocks_until_consumer_drains(self):
+        ring = self._make(capacity=2)
+        try:
+            for i in range(2):
+                ring.push(encode_result(i, _result()))
+            done = threading.Event()
+
+            def producer():
+                ring.push(encode_result(2, _result()), timeout=5.0)
+                done.set()
+
+            thread = threading.Thread(target=producer)
+            thread.start()
+            time.sleep(0.05)
+            assert not done.is_set()  # ring full: producer is parked
+            assert len(ring.pop_all()) == 2
+            thread.join(timeout=5.0)
+            assert done.is_set()
+            assert [decode_record(r)[0] for r in ring.pop_all()] == [2]
+        finally:
+            ring.destroy()
+
+    def test_push_times_out_when_never_drained(self):
+        ring = self._make(capacity=1)
+        try:
+            ring.push(encode_result(0, _result()))
+            with pytest.raises(TimeoutError, match="not draining"):
+                ring.push(encode_result(1, _result()), timeout=0.05)
+        finally:
+            ring.destroy()
+
+    def test_closed_ring_rejects_writers(self):
+        ring = self._make(capacity=2)
+        try:
+            ring.close_for_writers()
+            with pytest.raises(RingClosedError):
+                ring.push(encode_result(0, _result()))
+        finally:
+            ring.destroy()
+
+    def test_wrong_size_record_rejected(self):
+        ring = self._make(capacity=2)
+        try:
+            with pytest.raises(ValueError, match="bytes"):
+                ring.push(b"tiny")
+        finally:
+            ring.destroy()
+
+
+# ----------------------------------------------------------------------
+# streamed-sweep integration (fork start method: the stubbed run_cell
+# must be inherited by the workers)
+# ----------------------------------------------------------------------
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="platform has no fork start method",
+)
+
+
+def _stub_run_cell(cell):
+    return CellResult(
+        scenario=cell.scenario, seed=cell.seed, mode=cell.mode,
+        repeat=cell.repeat, jitter_seed=cell.jitter_seed,
+        fingerprint=f"fp|{cell.scenario}|{cell.seed}|{cell.mode}",
+        deliveries=1, wall_seconds=0.0,
+    )
+
+
+def _crashing_run_cell(cell):
+    if cell.seed == 13:
+        os._exit(17)  # hard worker death: no exception, no cleanup
+    return _stub_run_cell(cell)
+
+
+def _unencodable_run_cell(cell):
+    if cell.seed == 7:
+        # 65-char fingerprint: encode_result refuses, the worker's
+        # future carries the ValueError, but the pool stays healthy
+        return CellResult(
+            scenario=cell.scenario, seed=cell.seed, mode=cell.mode,
+            fingerprint="f" * 65,
+        )
+    return _stub_run_cell(cell)
+
+
+@needs_fork
+@pytest.mark.slow
+class TestStreamedGridSoak:
+    def test_1000_cell_grid_streams_with_flat_parent_memory(self, monkeypatch):
+        """A 1000-cell grid must stream to completion through the ring
+        with the parent's transport+aggregation footprint bounded (the
+        consumer folds results instead of retaining them)."""
+        monkeypatch.setattr(sweep_mod, "run_cell", _stub_run_cell)
+        runner = SweepRunner(
+            scenarios=["flap-storm"], seeds=tuple(range(250)),
+            modes=("vanilla", "defined"), repeats=2, workers=2,
+        )
+        assert len(runner.grid()) == 1000
+        seen = []
+        tracemalloc.start()
+        try:
+            count = 0
+            fingerprints = set()
+            for result in runner.stream(progress=seen.append):
+                count += 1
+                fingerprints.add(result.fingerprint)
+                assert result.error is None
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert count == 1000 and len(seen) == 1000
+        # 250 seeds x 2 modes (repeats collapse onto one fingerprint)
+        assert len(fingerprints) == 500
+        # flat: orders of magnitude under "retain 1000 results + 1000
+        # futures"; the bound is generous to stay unflaky under pytest
+        assert peak < 8 * 1024 * 1024, f"parent peak {peak} bytes"
+
+    def test_small_ring_applies_backpressure_end_to_end(self, monkeypatch):
+        """With a 2-slot ring the workers must block-and-resume rather
+        than drop or reorder records."""
+        monkeypatch.setattr(sweep_mod, "run_cell", _stub_run_cell)
+        monkeypatch.setattr(sweep_mod, "STREAM_RING_CAPACITY", 2)
+        runner = SweepRunner(
+            scenarios=["flap-storm"], seeds=tuple(range(40)),
+            modes=("vanilla",), workers=2,
+        )
+        report = runner.run()
+        assert report.ok(), report.render()
+        assert len(report.cells) == 40
+
+
+@needs_fork
+class TestWorkerCrash:
+    def test_worker_crash_surfaces_as_failed_cell_not_hang(self, monkeypatch):
+        monkeypatch.setattr(sweep_mod, "run_cell", _crashing_run_cell)
+        runner = SweepRunner(
+            scenarios=["flap-storm"], seeds=tuple(range(20)),
+            modes=("vanilla",), workers=2,
+        )
+        start = time.monotonic()
+        report = runner.run()
+        assert time.monotonic() - start < 60, "crash handling must not hang"
+        assert len(report.cells) == 20
+        dead = [c for c in report.cells if c.error is not None]
+        assert dead, "the crashed cell must surface as an error"
+        assert any("worker process died" in c.error for c in dead)
+        # cells finished before the crash still made it through the ring
+        assert any(c.error is None for c in report.cells)
+        assert not report.ok()
+
+    def test_single_cell_transport_failure_does_not_abandon_grid(
+        self, monkeypatch
+    ):
+        """A per-cell reporting failure (here: an unencodable record) is
+        not pool breakage: the failing cell surfaces with its own error
+        and every other cell still runs to completion."""
+        monkeypatch.setattr(sweep_mod, "run_cell", _unencodable_run_cell)
+        runner = SweepRunner(
+            scenarios=["flap-storm"], seeds=tuple(range(30)),
+            modes=("vanilla",), workers=2,
+        )
+        report = runner.run()
+        assert len(report.cells) == 30
+        dead = [c for c in report.cells if c.error is not None]
+        assert len(dead) == 1 and dead[0].seed == 7
+        assert "failed to report its result" in dead[0].error
+        assert "ValueError" in dead[0].error
+        # the healthy 29 cells all completed despite the one failure
+        assert sum(1 for c in report.cells if c.error is None) == 29

@@ -1,0 +1,95 @@
+"""History-window headroom: slack exhaustion must be surfaced, loudly.
+
+The DEFINED-RB shim guarantees ordering only within its sliding history
+window (:meth:`DefinedShim.window_us`).  An arrival that sorts below an
+already-pruned entry is delivered unordered and counted in
+``late_deliveries`` -- previously *silently*.  These tests pin the new
+behavior: every such delivery emits a structured
+:class:`HistoryWindowWarning` naming the node and a lower bound on the
+slack deficit, while correctly-sized windows stay warning-free.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.core.history import DeliveredHistory, HistoryEntry
+from repro.core.ordering import OptimizedOrdering
+from repro.core.shim import HistoryWindowWarning
+from repro.harness import run_production
+from repro.sweep import get_scenario
+
+
+def _run(name: str, window_us, jitter_us, seed=1):
+    scenario = get_scenario(name)
+    graph = scenario.topology(seed)
+    schedule = scenario.schedule(graph, seed)
+    return run_production(
+        graph, schedule, mode="defined", seed=seed, jitter_us=jitter_us,
+        measure_convergence=False, settle_us=scenario.settle_us,
+        tail_us=scenario.tail_us, window_us=window_us,
+    )
+
+
+class TestSlackExhaustionWarns:
+    def test_undersized_window_emits_structured_warning(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = _run("latency-jitter", window_us=100_000, jitter_us=300_000)
+        assert result.late_deliveries > 0
+        emitted = [
+            w.message for w in caught
+            if issubclass(w.category, HistoryWindowWarning)
+        ]
+        # warnings fire on the first late delivery per node and on each
+        # deficit escalation -- bounded, never O(late_deliveries) spam
+        assert emitted
+        assert len(emitted) <= result.late_deliveries
+        per_node_deficits: dict = {}
+        for w in emitted:
+            if w.deficit_us is not None:
+                prior = per_node_deficits.get(w.node_id, -1)
+                assert w.deficit_us > prior, "warnings must escalate"
+                per_node_deficits[w.node_id] = w.deficit_us
+        first = emitted[0]
+        assert first.node_id in {"a", "b", "c", "d"}
+        assert first.window_us == 100_000
+        assert first.deficit_us is not None and first.deficit_us > 0
+        assert "short by >=" in str(first)
+        assert "raise window_us" in str(first)
+
+    def test_pytest_warns_idiom_works(self):
+        with pytest.warns(HistoryWindowWarning, match="window exhausted"):
+            _run("latency-jitter", window_us=50_000, jitter_us=400_000)
+
+    def test_default_window_holds_on_diamond_jitter_envelope(self):
+        """The ROADMAP's measured envelope: up to 5ms of delivery jitter
+        the default window keeps every arrival ordered -- no late
+        deliveries, no warnings."""
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = _run("latency-jitter", window_us=None, jitter_us=5_000)
+        assert result.late_deliveries == 0
+        assert not [
+            w for w in caught if issubclass(w.category, HistoryWindowWarning)
+        ]
+
+
+class TestPrunedBoundaryTracking:
+    def test_history_records_pruned_delivery_time(self):
+        ordering = OptimizedOrdering()
+        history = DeliveredHistory()
+        assert history.last_pruned_at_us is None
+        for group, at_us in ((1, 100), (2, 200), (3, 300)):
+            entry = HistoryEntry(
+                kind="ext",
+                key=ordering.external_key(group, "n0", group),
+                group=group,
+            )
+            entry.delivered_at_us = at_us
+            history.append(entry)
+        assert history.prune_before_time(250) == 2
+        assert history.last_pruned_at_us == 200
+        assert history.last_pruned_key is not None
