@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Window-envelope walkthrough: how much history window does this
+topology need at this jitter level -- measured, not guessed.
+
+Maps delivery jitter x window_us over a sized Waxman scenario, prints
+the slack-deficit distribution per cell, then asks the mapper for the
+minimal safe window and re-runs the grid at it: the recommendation only
+counts once the re-run reports zero deficits.
+
+Run:  python examples/window_envelope.py [scenario [workers]]
+
+e.g. ``python examples/window_envelope.py flap-storm@20 4``.  The
+default grid is deliberately small (one seed, three jitters, the auto
+window ladder) -- the point is the shape of the loop, not coverage;
+``repro envelope`` exposes every axis.
+"""
+
+import sys
+
+from repro.envelope import EnvelopeRunner
+
+
+def main() -> int:
+    scenario = sys.argv[1] if len(sys.argv) > 1 else "flap-storm@20"
+    workers = int(sys.argv[2]) if len(sys.argv) > 2 else 1
+
+    runner = EnvelopeRunner(
+        scenarios=[scenario],
+        jitters_us=[0, 50_000, 300_000],   # 0 / 50ms / 300ms delivery jitter
+        windows_us="auto",                 # ladder off the default formula
+        seeds=(1,),
+        workers=workers,
+    )
+    print(
+        f"mapping {scenario}: windows {list(runner.windows_us)}us x "
+        f"jitters {[j // 1000 for j in runner.jitters_us]}ms"
+    )
+
+    def progress(cell) -> None:
+        late = cell.headroom.late_count if cell.headroom else "?"
+        print(f"  window={cell.window_us}us jitter={cell.jitter_us}us "
+              f"-> late={late}")
+
+    report = runner.run(suggest=True, progress=progress)
+    print()
+    print(report.render())
+    return 0 if report.ok() else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -104,6 +104,37 @@ def render_matrix(
     return render_table(title, [row_label] + list(col_labels), rows)
 
 
+def render_headroom(
+    title: str,
+    labeled_stats: Sequence[Tuple[str, object]],
+) -> str:
+    """Per-cell history-window headroom: one row per labeled
+    :class:`~repro.core.history.WindowHeadroomStats`.
+
+    The deficit columns are lower bounds on the extra window each late
+    arrival would have needed; ``late = 0`` rows are the envelope's safe
+    region.  Used by the window-envelope mapper's report and anything
+    else that carries headroom-bearing cells.
+    """
+    rows = []
+    for label, s in labeled_stats:
+        rows.append([
+            label,
+            s.window_us,
+            s.late_count,
+            s.max_deficit_us,
+            s.p50_deficit_us,
+            s.p90_deficit_us,
+            s.p99_deficit_us,
+        ])
+    return render_table(
+        title,
+        ["cell", "window (us)", "late", "max deficit (us)",
+         "p50 (us)", "p90 (us)", "p99 (us)"],
+        rows,
+    )
+
+
 def _fmt(cell) -> str:
     if isinstance(cell, float):
         return f"{cell:.4g}"

@@ -14,6 +14,8 @@ Usage (after ``pip install -e .``)::
         --boundary-jitter-us 1 --seeds 8
     python -m repro.cli fuzz --scenarios flap-storm,partition \
         --seeds 1,2 --jitters-us 0,1 --report-out /tmp/fuzz.json
+    python -m repro.cli envelope --scenarios flap-storm@20 \
+        --jitters 0,50,300 --windows auto --suggest
     python -m repro.cli scale --sizes 20,40 --events 4
     python -m repro.cli casestudy bgp
     python -m repro.cli casestudy rip
@@ -252,6 +254,59 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok() else 1
 
 
+def cmd_envelope(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.envelope import EnvelopeRunner
+
+    try:
+        jitters_ms = _parse_int_list(args.jitters, "--jitters")
+        windows = (
+            "auto" if args.windows == "auto"
+            else _parse_int_list(args.windows, "--windows")
+        )
+        runner = EnvelopeRunner(
+            scenarios=[s.strip() for s in args.scenarios.split(",")],
+            jitters_us=[j * 1_000 for j in jitters_ms],
+            windows_us=windows,
+            seeds=_parse_int_list(args.seeds, "--seeds"),
+            workers=args.workers,
+            sizes=(
+                _parse_int_list(args.sizes, "--sizes") if args.sizes else None
+            ),
+            boundary_jitter_us=args.boundary_jitter_us,
+            target_quantile=args.target_quantile,
+            margin=args.margin,
+        )
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(exc.args[0] if exc.args else str(exc))
+    print(
+        f"mapping the window envelope: {len(runner.scenarios)} scenario(s) "
+        f"x jitters {[j // 1_000 for j in runner.jitters_us]}ms "
+        f"x windows {list(runner.windows_us)}us "
+        f"x {len(runner.seeds)} seed(s) on {args.workers} worker(s)"
+        + (" -- then verifying a suggested window" if args.suggest else "")
+    )
+
+    def progress(cell) -> None:
+        status = "ERROR " + cell.error if cell.error else (
+            f"late={cell.headroom.late_count}" if cell.headroom else "ok"
+        )
+        print(f"  {cell.scenario} jitter={cell.jitter_us}us "
+              f"window={cell.window_us}us seed={cell.seed}: {status}")
+
+    report = runner.run(
+        suggest=args.suggest,
+        progress=progress if args.verbose else None,
+    )
+    print(report.render())
+    if args.report_out:
+        with open(args.report_out, "w") as fh:
+            json.dump(report.to_dict(), fh, indent=2)
+        print(f"\nenvelope report written to {args.report_out}")
+    return 0 if report.ok() else 1
+
+
 def cmd_scale(args: argparse.Namespace) -> int:
     sizes = [int(s) for s in args.sizes.split(",")]
     packets = {"XORP": [], "DEFINED-RB(OO)": []}
@@ -425,6 +480,46 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write the JSON divergence report here")
     fuzz.add_argument("--verbose", action="store_true")
     fuzz.set_defaults(func=cmd_fuzz)
+
+    env = sub.add_parser(
+        "envelope",
+        help="map the history-window envelope (jitter x window x size) "
+             "and suggest a verified safe window_us",
+    )
+    env.add_argument("--scenarios", required=True,
+                     help="comma-separated scenario names; size with "
+                          "'name@N' or --sizes (e.g. flap-storm@20)")
+    env.add_argument("--jitters", default="0,50,300",
+                     help="per-packet delivery-jitter magnitudes in "
+                          "MILLISECONDS to grid over (default 0,50,300)")
+    env.add_argument("--windows", default="auto",
+                     help="comma-separated window_us values, or 'auto' "
+                          "for a ladder derived from the network-default "
+                          "window formula (default: auto)")
+    env.add_argument("--sizes", default=None, metavar="N[,M]",
+                     help="re-scale every selected scenario onto N-node "
+                          "topologies (the 'name@N' dynamic variant)")
+    env.add_argument("--seeds", default="1")
+    env.add_argument("--boundary-jitter-us", type=int, default=None,
+                     metavar="N",
+                     help="additionally snap external events onto beacon-"
+                          "group boundaries +/- N us (the fuzzer wrapper)")
+    env.add_argument("--suggest", action="store_true",
+                     help="recommend the minimal safe window from the "
+                          "measured deficits and verify it with a "
+                          "deficit-free re-run (Theorem-1 checks on)")
+    env.add_argument("--target-quantile", type=float, default=0.99,
+                     help="deficit quantile the suggestion must cover "
+                          "(default 0.99)")
+    env.add_argument("--margin", type=float, default=0.25,
+                     help="safety margin on top of the measured reach "
+                          "(default 0.25)")
+    env.add_argument("--workers", type=int, default=1)
+    env.add_argument("--report-out", default=None, metavar="PATH",
+                     help="write the JSON envelope report here")
+    env.add_argument("--verbose", action="store_true",
+                     help="print each cell as it completes")
+    env.set_defaults(func=cmd_envelope)
 
     scale = sub.add_parser("scale", help="size scalability sweep (Fig 8)")
     scale.add_argument("--sizes", default="20,40")

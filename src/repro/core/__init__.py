@@ -39,8 +39,13 @@ from repro.core.ordering import (
     OrderingFunction,
     RandomOrdering,
 )
+from repro.core.history import WindowHeadroomStats
 from repro.core.recorder import RecordedEvent, Recorder, Recording
-from repro.core.shim import DefinedShim
+from repro.core.shim import (
+    DefinedShim,
+    HistoryWindowWarning,
+    default_window_us,
+)
 from repro.core.virtual_time import TimerTable
 
 __all__ = [
@@ -50,6 +55,7 @@ __all__ = [
     "Debugger",
     "DefinedShim",
     "ForkOnReceive",
+    "HistoryWindowWarning",
     "GvtSample",
     "GvtTracker",
     "LockstepCoordinator",
@@ -64,7 +70,9 @@ __all__ = [
     "Recorder",
     "Recording",
     "TimerTable",
+    "WindowHeadroomStats",
     "baseline_processing_model",
+    "default_window_us",
     "execution_fingerprint",
     "first_divergence",
     "strategy_by_name",

@@ -17,12 +17,97 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.checkpoint import Checkpoint
 from repro.core.ordering import OrderKey
 from repro.simnet.events import ExternalEvent
 from repro.simnet.messages import Message
+
+
+def _quantile_us(ordered: Sequence[int], q: float) -> int:
+    """Nearest-rank quantile over a pre-sorted sample list.
+
+    Local on purpose: :mod:`repro.core` stays free of
+    :mod:`repro.analysis` imports, and nearest-rank (no interpolation)
+    keeps the stats integers -- they ride a fixed-width shared-memory
+    record (:mod:`repro.sweep_stream`)."""
+    if not ordered:
+        return 0
+    rank = min(len(ordered) - 1, max(0, int(q * len(ordered) + 0.5) - 1))
+    return int(ordered[rank])
+
+
+@dataclass(frozen=True)
+class WindowHeadroomStats:
+    """The measured slack-deficit distribution of one DEFINED-RB run.
+
+    Every arrival that sorts below the pruned history window carries a
+    *slack deficit*: a lower bound on how much more ``window_us`` would
+    have been needed to keep it ordered (see
+    :class:`~repro.core.shim.HistoryWindowWarning`).  Warnings surface
+    the first such delivery and escalations; this object captures the
+    *full* distribution -- count, max, quantiles -- so the window-envelope
+    mapper (:mod:`repro.envelope`) can recommend a window from data
+    instead of from the worst warning alone.
+
+    ``window_us`` is the effective window of the run (override or the
+    default formula).  All deficit fields are 0 when ``late_count`` is 0.
+    A deficit recorded as 0 means "late, but the pruned predecessor
+    predates measurement" -- still counted, never invented.
+    """
+
+    window_us: int
+    late_count: int = 0
+    max_deficit_us: int = 0
+    p50_deficit_us: int = 0
+    p90_deficit_us: int = 0
+    p99_deficit_us: int = 0
+
+    @classmethod
+    def from_samples(
+        cls, window_us: int, deficits_us: Sequence[int]
+    ) -> "WindowHeadroomStats":
+        ordered = sorted(int(d) for d in deficits_us)
+        return cls(
+            window_us=int(window_us),
+            late_count=len(ordered),
+            max_deficit_us=int(ordered[-1]) if ordered else 0,
+            p50_deficit_us=_quantile_us(ordered, 0.50),
+            p90_deficit_us=_quantile_us(ordered, 0.90),
+            p99_deficit_us=_quantile_us(ordered, 0.99),
+        )
+
+    @property
+    def clean(self) -> bool:
+        """True when the window covered every arrival (zero deficits)."""
+        return self.late_count == 0
+
+    def deficit_at(self, quantile: float) -> int:
+        """The recorded deficit closest to ``quantile`` (0..1].
+
+        Only the fixed summary points travel through the result record,
+        so this maps a requested quantile onto the nearest one at or
+        above it -- conservative for window sizing."""
+        if not 0.0 < quantile <= 1.0:
+            raise ValueError(f"quantile out of range: {quantile}")
+        if quantile <= 0.50:
+            return self.p50_deficit_us
+        if quantile <= 0.90:
+            return self.p90_deficit_us
+        if quantile <= 0.99:
+            return self.p99_deficit_us
+        return self.max_deficit_us
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "window_us": self.window_us,
+            "late_count": self.late_count,
+            "max_deficit_us": self.max_deficit_us,
+            "p50_deficit_us": self.p50_deficit_us,
+            "p90_deficit_us": self.p90_deficit_us,
+            "p99_deficit_us": self.p99_deficit_us,
+        }
 
 
 @dataclass

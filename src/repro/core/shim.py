@@ -39,7 +39,11 @@ from repro.core.checkpoint import (
     MemoryIntercept,
     baseline_processing_model,
 )
-from repro.core.history import DeliveredHistory, HistoryEntry
+from repro.core.history import (
+    DeliveredHistory,
+    HistoryEntry,
+    WindowHeadroomStats,
+)
 from repro.core.ordering import OptimizedOrdering, OrderingFunction
 from repro.core.recorder import Recorder
 from repro.core.rollback import collect_unsends, find_rollback_index, plan_replay
@@ -51,6 +55,22 @@ from repro.simnet.node import Node, Stack
 #: Default bound on causal chain length within one group (Section 2.2:
 #: "We further bound the length of each causal chain within a timestep").
 DEFAULT_CHAIN_BOUND = 64
+
+
+def default_window_us(network) -> int:
+    """The default history-retention window for a network: 2x the max
+    propagation time plus slack (the paper's footnote 3 uses mean +
+    4 sigma; we add two beacon intervals and a 500 ms guard).
+
+    Module-level so the window-envelope mapper (:mod:`repro.envelope`)
+    can derive its ``--windows auto`` ladder from the same formula the
+    shims will apply.
+    """
+    return (
+        2 * network.max_propagation_us()
+        + 2 * network.time_unit_us
+        + 500_000
+    )
 
 
 class HistoryWindowWarning(UserWarning):
@@ -159,6 +179,20 @@ class DefinedShim(Stack):
         #: cannot be guaranteed for them (window mis-sized).  Counted so
         #: experiments can assert it stayed at zero.
         self.late_deliveries = 0
+        #: Slack deficit of *every* late delivery (0 when the pruned
+        #: predecessor predates measurement), cumulative across reboots.
+        #: Warnings only surface the first/escalating deficits; the full
+        #: distribution feeds :meth:`headroom_stats` and, through it, the
+        #: window-envelope mapper's suggestion.
+        self.deficit_samples_us: list = []
+        #: While a late arrival is being delivered *outside* the ordered
+        #: window, this floors the group that timers armed (and messages
+        #: originated) by its processing are tagged with.  Without the
+        #: floor they would inherit the arrival's stale group and re-enter
+        #: the ordered machinery with keys sorting below delivered
+        #: history -- crashing a rollback replay instead of just counting
+        #: the one late delivery.
+        self._unordered_floor: Optional[int] = None
         #: Largest slack deficit already reported via
         #: :class:`HistoryWindowWarning`; warnings are emitted on the
         #: first late delivery and on every deficit escalation, not per
@@ -359,9 +393,18 @@ class DefinedShim(Stack):
         g+1 (late crossing, or during a rollback replay); basing its
         timers on the live beacon count would make expiries depend on
         wall-clock accidents and break determinism.
+
+        Exception: *unordered* (late) deliveries.  Their group already
+        fell off the history window, so a timer based on it would expire
+        into long-delivered groups and crash the ordered machinery; such
+        timers are floored to the current group instead (determinism for
+        that arrival is forfeit either way -- it is counted late).
         """
         if self._current_entry is not None:
-            return self._current_entry.group
+            group = self._current_entry.group
+            if self._unordered_floor is not None:
+                group = max(group, self._unordered_floor)
+            return group
         return self.vt
 
     def time_units(self) -> int:
@@ -373,9 +416,15 @@ class DefinedShim(Stack):
         Messages triggered while processing an external event or a timer
         inherit that entry's group (they are part of its timestep);
         anything else (boot traffic) uses the current virtual time.
+        Originations from an unordered (late) delivery are floored to the
+        current group -- a stale tag would make them unorderably late at
+        every receiver, cascading one window miss across the network.
         """
         if self._current_entry is not None:
-            return self._current_entry.group
+            group = self._current_entry.group
+            if self._unordered_floor is not None:
+                group = max(group, self._unordered_floor)
+            return group
         return self.vt
 
     # ------------------------------------------------------------------
@@ -527,6 +576,7 @@ class DefinedShim(Stack):
                 # pruned predecessor's delivery; anything older is a
                 # lower bound (the true predecessor may be older still)
                 deficit = max(0, (self.sim.now - pruned_at) - self.window_us())
+            self.deficit_samples_us.append(deficit if deficit is not None else 0)
             escalated = self._reported_deficit_us is None or (
                 deficit is not None and deficit > self._reported_deficit_us
             )
@@ -565,12 +615,19 @@ class DefinedShim(Stack):
         self._deliver(entry, self._take_checkpoint(), extra_delay_us=self.hop_cost_us)
 
     def _deliver_unordered(self, entry: HistoryEntry) -> None:
-        """Late-arrival escape hatch: bypass the ordered window entirely."""
+        """Late-arrival escape hatch: bypass the ordered window entirely.
+
+        The floor keeps the damage contained to this one delivery: timers
+        and originations triggered by it are tagged with the *current*
+        group, not the arrival's long-pruned one (see
+        :meth:`_timer_base_vt`).
+        """
         self.log_delivery("late:" + entry.tag())
         self.node.stats.deliveries += 1
         if entry.kind == "timer":
             self.timers.pop(entry.timer_key)
         self._current_entry = entry
+        self._unordered_floor = self.vt
         try:
             if self.daemon is not None:
                 if entry.kind == "msg":
@@ -581,6 +638,7 @@ class DefinedShim(Stack):
                     self.daemon.on_timer(entry.timer_key)
         finally:
             self._current_entry = None
+            self._unordered_floor = None
 
     # ------------------------------------------------------------------
     # delivery
@@ -733,20 +791,20 @@ class DefinedShim(Stack):
     # window pruning + memory accounting
     # ------------------------------------------------------------------
     def window_us(self) -> int:
-        """History retention window: 2x the max propagation time plus
-        slack (the paper's footnote 3 uses mean + 4 sigma; we add two
-        beacon intervals and a 500 ms guard)."""
+        """History retention window: the explicit override, or the
+        network-derived default (:func:`default_window_us`)."""
         if self._window_us is None:
             if self._window_us_override is not None:
                 self._window_us = self._window_us_override
             else:
-                network = self.node.network
-                self._window_us = (
-                    2 * network.max_propagation_us()
-                    + 2 * network.time_unit_us
-                    + 500_000
-                )
+                self._window_us = default_window_us(self.node.network)
         return self._window_us
+
+    def headroom_stats(self) -> WindowHeadroomStats:
+        """The slack-deficit distribution this node measured so far."""
+        return WindowHeadroomStats.from_samples(
+            self.window_us(), self.deficit_samples_us
+        )
 
     def _prune_window(self) -> None:
         cutoff = self.sim.now - self.window_us()

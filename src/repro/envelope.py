@@ -1,0 +1,539 @@
+"""Window-envelope mapper: measure the jitter/topology envelope of the
+history window, then recommend a window that is *checked*, not guessed.
+
+The DEFINED-RB shim guarantees deterministic delivery only inside its
+sliding history window (:meth:`~repro.core.shim.DefinedShim.window_us`).
+PR 3 made slack exhaustion loud -- every late arrival emits a
+:class:`~repro.core.shim.HistoryWindowWarning` with a deficit lower
+bound -- but "what ``window_us`` do I need for this topology at this
+jitter level" still took trial and error.  This module closes that loop:
+
+* :class:`EnvelopeRunner` grids **delivery jitter** x **window_us** x
+  **topology size** (the ``name@N`` sized Waxman scenarios) and runs
+  every cell through the ordinary sweep machinery
+  (:meth:`~repro.sweep.SweepRunner.run_cells`, so ``workers > 1``
+  streams results through the shared-memory ring).  Mapping cells run
+  with the Theorem-1 replay *off* -- deliberately undersized windows
+  forfeit determinism by construction, and the point of the pass is to
+  measure by how much;
+* each cell captures the **full slack-deficit distribution** -- count,
+  max, quantiles -- as a :class:`~repro.core.history.WindowHeadroomStats`
+  riding the fixed-width result record, instead of only the escalating
+  warnings;
+* :meth:`EnvelopeRunner.suggest_window` turns the measured distribution
+  into a recommendation: every deficit is a lower bound on the absolute
+  reach (``window + deficit = age of the pruned predecessor``) the
+  window needed, so the suggestion is the target-quantile reach plus a
+  safety margin;
+* the recommendation is **self-checked**: :meth:`EnvelopeRunner.run`
+  re-runs the whole (scenario x jitter x seed) grid at the suggested
+  window -- replay checks back on -- and escalates until the re-run is
+  deficit-free (bounded rounds).  The :class:`EnvelopeReport` carries
+  the verification cells, so "safe" is an artifact, not a claim.
+
+The jitter axis is per-packet delivery jitter in microseconds -- the
+quantity the window formula's slack term exists to absorb (the 300 ms
+regime of ``tests/test_window_headroom.py``).  The boundary-jitter
+fuzzer composes: ``boundary_jitter_us`` wraps every scenario in
+:func:`repro.sweep.jittered`, snapping external events onto beacon-group
+boundaries (where pruning happens) before the grid runs.
+
+CLI: ``repro envelope --scenarios flap-storm@20 --jitters 0,50,300
+--windows auto --suggest``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.report import render_headroom, render_matrix, render_table
+from repro.core.shim import default_window_us
+from repro.sweep import (
+    CellResult,
+    SweepCell,
+    SweepRunner,
+    canonical_scenario_name,
+    get_scenario,
+    sized_spec,
+)
+from repro.topology import to_network
+
+#: Suggested windows are rounded up to this granularity: sub-millisecond
+#: precision would be false precision on top of lower-bound deficits.
+WINDOW_GRANULARITY_US = 1_000
+
+#: Verification escalation rounds before giving up.  Deficits are lower
+#: bounds, so a suggestion can come up short once; twice means the
+#: margin, not the measurement, is the problem and the report says so.
+MAX_VERIFY_ROUNDS = 3
+
+#: ``--windows auto``: map the envelope at these fractions of the
+#: network-derived default window.  The fractions deliberately reach
+#: into undersized territory -- a grid that never exhausts its slack
+#: measures nothing.
+AUTO_WINDOW_FRACTIONS = (0.25, 0.5, 1.0)
+
+
+def scenario_default_window_us(name: str, seed: int = 1) -> int:
+    """The default history window the shims would derive for this
+    scenario's topology at this seed (:func:`default_window_us` over the
+    instantiated network)."""
+    scenario = get_scenario(name)
+    graph = scenario.topology(seed)
+    return default_window_us(
+        to_network(graph, seed=seed, jitter_us=scenario.jitter_us)
+    )
+
+
+@dataclass(frozen=True)
+class WindowSuggestion:
+    """The mapper's recommendation plus its self-consistency check."""
+
+    window_us: int
+    target_quantile: float
+    margin: float
+    #: True once a full-grid re-run at ``window_us`` finished with zero
+    #: slack deficits and no errors -- the self-consistency check the
+    #: suggestion is not allowed to skip.
+    verified: bool = False
+    #: Whether the verification re-run's Theorem-1 checks (production vs
+    #: DEFINED-LS replay) also held.  Reported separately from
+    #: ``verified``: the window can be provably sufficient (zero
+    #: deficits) while the *lockstep replay* still diverges in regimes
+    #: outside its own envelope -- delivery jitter above the beacon
+    #: interval breaks its chain-delay estimates (known limitation, see
+    #: ROADMAP).  ``None`` until a verification round ran clean.
+    invariant_clean: Optional[bool] = None
+    #: Verification attempts as ``(window_us, deficit_count, errors)``;
+    #: more than one entry means the first suggestion escalated.
+    rounds: Tuple[Tuple[int, int, int], ...] = ()
+
+    def to_dict(self) -> Dict:
+        return {
+            "window_us": self.window_us,
+            "target_quantile": self.target_quantile,
+            "margin": self.margin,
+            "verified": self.verified,
+            "invariant_clean": self.invariant_clean,
+            "rounds": [
+                {"window_us": w, "deficits": d, "errors": e}
+                for w, d, e in self.rounds
+            ],
+        }
+
+
+@dataclass
+class EnvelopeReport:
+    """Everything one envelope-mapping campaign produced."""
+
+    scenarios: Tuple[str, ...]
+    jitters_us: Tuple[int, ...]
+    windows_us: Tuple[int, ...]
+    seeds: Tuple[int, ...]
+    mode: str
+    cells: List[CellResult] = field(default_factory=list)
+    suggestion: Optional[WindowSuggestion] = None
+    verification_cells: List[CellResult] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    # -- verdicts ------------------------------------------------------
+    def errors(self) -> List[CellResult]:
+        return [c for c in self.cells if c.error is not None]
+
+    def deficit_cells(self) -> List[CellResult]:
+        return [
+            c for c in self.cells
+            if c.headroom is not None and not c.headroom.clean
+        ]
+
+    def ok(self) -> bool:
+        """Mapping cells must *run* (deficits are data, crashes are not)
+        and, when a suggestion was requested, it must have verified."""
+        if self.errors():
+            return False
+        if self.suggestion is not None and not self.suggestion.verified:
+            return False
+        return True
+
+    # -- aggregation ---------------------------------------------------
+    def _group(self, scenario: str, jitter_us: int, window_us: int):
+        return [
+            c for c in self.cells
+            if c.scenario == scenario
+            and c.jitter_us == jitter_us
+            and c.window_us == window_us
+        ]
+
+    def safe_windows(self) -> Dict[Tuple[str, int], Optional[int]]:
+        """Per (scenario, jitter): the smallest mapped window whose cells
+        all stayed deficit-free, or ``None`` when every mapped window
+        exhausted its slack (the suggestion then extrapolates)."""
+        out: Dict[Tuple[str, int], Optional[int]] = {}
+        for scenario in self.scenarios:
+            for jitter in self.jitters_us:
+                safe = None
+                for window in sorted(self.windows_us):
+                    group = self._group(scenario, jitter, window)
+                    if group and all(
+                        c.error is None
+                        and c.headroom is not None
+                        and c.headroom.clean
+                        for c in group
+                    ):
+                        safe = window
+                        break
+                out[(scenario, jitter)] = safe
+        return out
+
+    # -- rendering -----------------------------------------------------
+    def render(self) -> str:
+        parts = []
+        for window in self.windows_us:
+            matrix = {}
+            for scenario in self.scenarios:
+                row = {}
+                for jitter in self.jitters_us:
+                    group = self._group(scenario, jitter, window)
+                    if not group:
+                        row[str(jitter)] = "-"
+                    elif any(c.error is not None for c in group):
+                        row[str(jitter)] = "ERR"
+                    else:
+                        late = sum(
+                            c.headroom.late_count for c in group
+                            if c.headroom is not None
+                        )
+                        row[str(jitter)] = str(late) if late else "ok"
+                matrix[scenario] = row
+            parts.append(render_matrix(
+                f"late deliveries at window={window}us "
+                "(scenario x delivery jitter (us))",
+                "scenario",
+                [str(j) for j in self.jitters_us],
+                matrix,
+            ))
+            parts.append("")
+        hot = [
+            (
+                f"{c.scenario} j={c.jitter_us}us seed={c.seed}",
+                c.headroom,
+            )
+            for c in self.deficit_cells()
+        ]
+        if hot:
+            parts.append(render_headroom(
+                "slack-deficit distribution (late cells only)", hot
+            ))
+            parts.append("")
+        safe = self.safe_windows()
+        parts.append(render_table(
+            "smallest mapped deficit-free window",
+            ["scenario", "jitter (us)", "safe window (us)"],
+            [
+                [scenario, jitter,
+                 safe[(scenario, jitter)] if safe[(scenario, jitter)]
+                 is not None else "> mapped range"]
+                for scenario in self.scenarios
+                for jitter in self.jitters_us
+            ],
+        ))
+        parts.append("")
+        parts.append(
+            f"grid: {len(self.cells)} mapping cell(s), "
+            f"{len(self.verification_cells)} verification cell(s), "
+            f"{self.wall_seconds:.2f}s wall"
+        )
+        if self.suggestion is not None:
+            s = self.suggestion
+            if s.verified:
+                parts.append(
+                    f"suggested window_us = {s.window_us} "
+                    f"(q{int(s.target_quantile * 100)} reach "
+                    f"+ {int(s.margin * 100)}% margin) -- VERIFIED: "
+                    "re-run at this window reported zero slack deficits"
+                )
+                if s.invariant_clean is False:
+                    parts.append(
+                        "note: the lockstep replay diverged at this "
+                        "jitter level despite zero deficits -- delivery "
+                        "jitter above the beacon interval is outside the "
+                        "replay's own envelope (see ROADMAP)"
+                    )
+            else:
+                parts.append(
+                    f"suggested window_us = {s.window_us} -- NOT verified "
+                    f"after {len(s.rounds)} round(s); see report JSON"
+                )
+        if self.errors():
+            parts.append(
+                f"verdict: FAILED -- {len(self.errors())} mapping cell(s) "
+                "crashed before measuring"
+            )
+        return "\n".join(parts)
+
+    def to_dict(self) -> Dict:
+        """JSON-serializable envelope report (the CI artifact)."""
+        def cell_dict(c: CellResult) -> Dict:
+            return {
+                "scenario": c.scenario,
+                "seed": c.seed,
+                "mode": c.mode,
+                "jitter_us": c.jitter_us,
+                "window_us": c.window_us,
+                "error": c.error,
+                "invariant_ok": c.invariant_ok,
+                "late_deliveries": c.late_deliveries,
+                "rollbacks": c.rollbacks,
+                "headroom": (
+                    c.headroom.to_dict() if c.headroom is not None else None
+                ),
+            }
+
+        return {
+            "ok": self.ok(),
+            "scenarios": list(self.scenarios),
+            "jitters_us": list(self.jitters_us),
+            "windows_us": list(self.windows_us),
+            "seeds": list(self.seeds),
+            "mode": self.mode,
+            "grid_cells": len(self.cells),
+            "wall_seconds": self.wall_seconds,
+            "cells": [cell_dict(c) for c in self.cells],
+            "safe_windows": [
+                {"scenario": scenario, "jitter_us": jitter, "window_us": w}
+                for (scenario, jitter), w in self.safe_windows().items()
+            ],
+            "suggestion": (
+                self.suggestion.to_dict() if self.suggestion is not None else None
+            ),
+            "verification_cells": [
+                cell_dict(c) for c in self.verification_cells
+            ],
+        }
+
+
+class EnvelopeRunner:
+    """Grid (scenario x delivery-jitter x window x seed), measure the
+    slack-deficit distribution per cell, and optionally recommend (and
+    verify) a safe ``window_us``.
+
+    ``windows_us="auto"`` derives the ladder from the largest
+    network-default window across the selected scenarios
+    (:data:`AUTO_WINDOW_FRACTIONS`), so the grid brackets the formula
+    the shims would have applied.  ``sizes`` re-scales every scenario
+    through the ``name@N`` grammar; ``boundary_jitter_us`` additionally
+    snaps every external event onto a beacon-group boundary via the
+    existing fuzzer wrapper (:func:`repro.sweep.jittered`).
+    """
+
+    def __init__(
+        self,
+        scenarios: Sequence[str],
+        jitters_us: Sequence[int] = (0, 50_000, 300_000),
+        windows_us: "Sequence[int] | str" = "auto",
+        seeds: Sequence[int] = (1,),
+        mode: str = "defined",
+        workers: int = 1,
+        transport: str = "shm",
+        sizes: Optional[Sequence[int]] = None,
+        boundary_jitter_us: Optional[int] = None,
+        target_quantile: float = 0.99,
+        margin: float = 0.25,
+    ) -> None:
+        if not scenarios:
+            raise ValueError("envelope mapping needs at least one scenario")
+        if any(j < 0 for j in jitters_us):
+            raise ValueError("delivery-jitter magnitudes cannot be negative")
+        if not 0.0 < target_quantile <= 1.0:
+            raise ValueError(f"target_quantile out of range: {target_quantile}")
+        if margin < 0:
+            raise ValueError("margin cannot be negative")
+        if mode != "defined":
+            # headroom stats come from DefinedShim instances; other modes
+            # have no history window to map
+            raise ValueError("the window envelope is a defined-mode property")
+        names = [canonical_scenario_name(n) for n in scenarios]
+        if sizes:
+            names = [sized_spec(name, n) for name in names for n in sizes]
+        if boundary_jitter_us is not None:
+            if boundary_jitter_us < 0:
+                raise ValueError("boundary jitter cannot be negative")
+            names = [f"{name}~j{boundary_jitter_us}us" for name in names]
+        for name in names:
+            get_scenario(name)  # fail fast on unknown names
+        self.scenarios: Tuple[str, ...] = tuple(dict.fromkeys(names))
+        self.jitters_us = tuple(sorted(set(int(j) for j in jitters_us)))
+        self.seeds = tuple(seeds)
+        self.mode = mode
+        self.target_quantile = target_quantile
+        self.margin = margin
+        # hand the real scenario list to the runner: run_cells() never
+        # reads its grid, but _worker_context's spawn-portability guard
+        # must see the names this envelope will actually ship to workers
+        self._sweep = SweepRunner(
+            scenarios=list(self.scenarios), seeds=self.seeds,
+            workers=workers, transport=transport,
+        )
+        if isinstance(windows_us, str):
+            if windows_us != "auto":
+                raise ValueError(
+                    f"windows_us must be a list of integers or 'auto', "
+                    f"got {windows_us!r}"
+                )
+            base = max(
+                scenario_default_window_us(name, seed)
+                for name in self.scenarios
+                for seed in self.seeds
+            )
+            ladder = {
+                _round_window(int(base * f)) for f in AUTO_WINDOW_FRACTIONS
+            }
+            self.windows_us = tuple(sorted(ladder))
+        else:
+            if not windows_us:
+                raise ValueError("windows_us cannot be empty")
+            if any(w <= 0 for w in windows_us):
+                raise ValueError("windows must be positive microsecond counts")
+            self.windows_us = tuple(sorted(set(int(w) for w in windows_us)))
+
+    # -- grid construction ---------------------------------------------
+    def grid(self, window_us: Optional[int] = None, check_invariant: bool = False
+             ) -> List[SweepCell]:
+        """Mapping cells (all windows), or -- with ``window_us`` -- one
+        verification pass over (scenario x jitter x seed) at that window."""
+        windows = self.windows_us if window_us is None else (window_us,)
+        return [
+            SweepCell(
+                scenario=name,
+                seed=seed,
+                mode=self.mode,
+                window_us=window,
+                jitter_us=jitter,
+                check_invariant=check_invariant,
+            )
+            for name in self.scenarios
+            for jitter in self.jitters_us
+            for window in windows
+            for seed in self.seeds
+        ]
+
+    # -- execution ------------------------------------------------------
+    def map(
+        self, progress: Optional[Callable[[CellResult], None]] = None
+    ) -> List[CellResult]:
+        """Run the mapping grid (replay checks off; deficits are the
+        measurement, not a failure)."""
+        return self._sweep.run_cells(self.grid(), progress=progress)
+
+    def verify(
+        self,
+        window_us: int,
+        progress: Optional[Callable[[CellResult], None]] = None,
+    ) -> List[CellResult]:
+        """Re-run (scenario x jitter x seed) at one window with the full
+        Theorem-1 production-vs-replay check enabled."""
+        return self._sweep.run_cells(
+            self.grid(window_us=window_us, check_invariant=True),
+            progress=progress,
+        )
+
+    # -- suggestion -----------------------------------------------------
+    def suggest_window(self, cells: Sequence[CellResult]) -> int:
+        """The minimal safe window the measured distribution supports.
+
+        Each deficit is a lower bound on the *reach* the window needed:
+        ``window + deficit`` is the measured age of the pruned
+        predecessor the arrival should have sorted against.  The
+        suggestion is the target-quantile reach across all late cells,
+        inflated by the margin.  With zero deficits anywhere, the
+        smallest mapped window that stayed clean is already the answer.
+        """
+        reaches = [
+            c.headroom.window_us + c.headroom.deficit_at(self.target_quantile)
+            for c in cells
+            if c.error is None
+            and c.headroom is not None
+            and not c.headroom.clean
+        ]
+        if reaches:
+            return _round_window(int(max(reaches) * (1.0 + self.margin)))
+        clean = [
+            c.headroom.window_us
+            for c in cells
+            if c.error is None and c.headroom is not None and c.headroom.clean
+        ]
+        if not clean:
+            raise ValueError(
+                "cannot suggest a window: no mapping cell completed with "
+                "headroom measurements (all cells errored?)"
+            )
+        return min(clean)
+
+    def run(
+        self,
+        suggest: bool = True,
+        progress: Optional[Callable[[CellResult], None]] = None,
+    ) -> EnvelopeReport:
+        """Map the envelope and (optionally) produce a verified
+        suggestion, escalating from the verification's own measurements
+        when the first recommendation comes up short."""
+        start = time.perf_counter()
+        report = EnvelopeReport(
+            scenarios=self.scenarios,
+            jitters_us=self.jitters_us,
+            windows_us=self.windows_us,
+            seeds=self.seeds,
+            mode=self.mode,
+        )
+        report.cells = self.map(progress=progress)
+        if suggest and not report.errors():
+            window = self.suggest_window(report.cells)
+            rounds: List[Tuple[int, int, int]] = []
+            verified = False
+            invariant_clean: Optional[bool] = None
+            for _ in range(MAX_VERIFY_ROUNDS):
+                vcells = self.verify(window, progress=progress)
+                deficits = sum(
+                    c.headroom.late_count for c in vcells
+                    if c.headroom is not None
+                )
+                errors = sum(1 for c in vcells if c.error is not None)
+                rounds.append((window, deficits, errors))
+                report.verification_cells = vcells
+                if deficits == 0 and errors == 0:
+                    verified = True
+                    invariant_clean = all(
+                        c.invariant_ok is not False for c in vcells
+                    )
+                    break
+                # escalate from what the verification itself measured:
+                # the worst reach it saw, margin-inflated, and never less
+                # than a doubling (deficits are lower bounds; a timid
+                # escalation can loop)
+                seen = [
+                    c.headroom.window_us + c.headroom.max_deficit_us
+                    for c in vcells
+                    if c.headroom is not None and not c.headroom.clean
+                ]
+                floor = 2 * window
+                if seen:
+                    floor = max(floor, int(max(seen) * (1.0 + self.margin)))
+                window = _round_window(floor)
+            report.suggestion = WindowSuggestion(
+                window_us=rounds[-1][0],
+                target_quantile=self.target_quantile,
+                margin=self.margin,
+                verified=verified,
+                invariant_clean=invariant_clean,
+                rounds=tuple(rounds),
+            )
+        report.wall_seconds = time.perf_counter() - start
+        return report
+
+
+def _round_window(window_us: int) -> int:
+    """Round a window up to :data:`WINDOW_GRANULARITY_US`."""
+    grains = (window_us + WINDOW_GRANULARITY_US - 1) // WINDOW_GRANULARITY_US
+    return max(WINDOW_GRANULARITY_US, grains * WINDOW_GRANULARITY_US)

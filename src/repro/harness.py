@@ -30,6 +30,7 @@ from repro.core.checkpoint import (
 )
 from repro.core.fingerprint import execution_fingerprint
 from repro.core.groups import BeaconService
+from repro.core.history import WindowHeadroomStats
 from repro.core.lockstep import LockstepCoordinator
 from repro.core.ordering import OrderingFunction, make_ordering
 from repro.core.recorder import Recorder, Recording
@@ -65,6 +66,9 @@ class ProductionResult:
     packets_per_node_per_event: List[int] = field(default_factory=list)
     late_deliveries: int = 0
     rollbacks: int = 0
+    #: Slack-deficit distribution pooled across every DEFINED-RB node
+    #: (``defined`` mode only): the measured history-window headroom.
+    headroom: Optional[WindowHeadroomStats] = None
     comprehensive_log: Optional[ComprehensiveLog] = None
     wall_seconds: float = 0.0
 
@@ -286,10 +290,21 @@ def run_production(
 
     late = 0
     rollbacks = net.run_stats.total_rollbacks()
+    effective_window: Optional[int] = None
+    deficit_samples: List[int] = []
     for node in net.nodes.values():
         stack = node.stack
         if isinstance(stack, (DefinedShim, DdosStack)):
             late += stack.late_deliveries
+        if isinstance(stack, DefinedShim):
+            deficit_samples.extend(stack.deficit_samples_us)
+            w = stack.window_us()
+            effective_window = w if effective_window is None else max(effective_window, w)
+    headroom = (
+        WindowHeadroomStats.from_samples(effective_window, deficit_samples)
+        if effective_window is not None
+        else None
+    )
 
     logs = net.delivery_logs()
     return ProductionResult(
@@ -303,6 +318,7 @@ def run_production(
         packets_per_node_per_event=packet_deltas,
         late_deliveries=late,
         rollbacks=rollbacks,
+        headroom=headroom,
         comprehensive_log=comp_log,
         wall_seconds=time.perf_counter() - wall_start,
     )

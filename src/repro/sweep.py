@@ -70,6 +70,7 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.report import render_matrix, render_table
+from repro.core.history import WindowHeadroomStats
 from repro.harness import (
     ProductionResult,
     burst_schedule,
@@ -782,13 +783,25 @@ class SweepCell:
     jitter, cost sampling) -- the seed-invariance probe runs the same
     workload under several jitter seeds and checks that deterministic
     modes collapse to one fingerprint.  ``repeat`` disambiguates the
-    probe's re-executions in reports."""
+    probe's re-executions in reports.
+
+    ``window_us`` / ``jitter_us`` override the shim's history window and
+    the scenario's per-packet delivery jitter for this one cell -- the
+    two axes the window-envelope mapper (:mod:`repro.envelope`) grids
+    over.  ``check_invariant=False`` skips the DEFINED-LS replay of a
+    ``defined`` cell: envelope *mapping* cells run deliberately
+    undersized windows where late deliveries forfeit determinism, so a
+    Theorem-1 check would only measure the mis-configuration; the
+    verification re-run at the suggested window turns it back on."""
 
     scenario: str
     seed: int
     mode: str
     repeat: int = 0
     jitter_seed: Optional[int] = None
+    window_us: Optional[int] = None
+    jitter_us: Optional[int] = None
+    check_invariant: bool = True
 
     @property
     def network_seed(self) -> int:
@@ -807,6 +820,10 @@ class CellResult:
     #: Jitter seed the network timing actually ran under (None: same as
     #: ``seed``); carried so seed-invariance splits are attributable.
     jitter_seed: Optional[int] = None
+    #: The cell's overrides, echoed back (None: scenario defaults) so
+    #: envelope grids can group results by their (window, jitter) axes.
+    window_us: Optional[int] = None
+    jitter_us: Optional[int] = None
     fingerprint: str = ""
     replay_fingerprint: Optional[str] = None
     #: Theorem-1 check (``defined`` cells only): replay == production.
@@ -820,6 +837,10 @@ class CellResult:
     rollbacks: int = 0
     deliveries: int = 0
     recording_bytes: Optional[int] = None
+    #: Measured history-window headroom (``defined`` cells only): the
+    #: slack-deficit distribution plus the *effective* window the run
+    #: used -- the envelope mapper's raw material.
+    headroom: Optional[WindowHeadroomStats] = None
     wall_seconds: float = 0.0
     error: Optional[str] = None
 
@@ -889,12 +910,16 @@ def run_cell(cell: SweepCell) -> CellResult:
             schedule,
             mode=cell.mode,
             seed=cell.network_seed,
-            jitter_us=scenario.jitter_us,
+            jitter_us=(
+                cell.jitter_us if cell.jitter_us is not None
+                else scenario.jitter_us
+            ),
             ordering=scenario.ordering,
             daemon_factory=daemon_factory,
             measure_convergence=False,
             settle_us=scenario.settle_us,
             tail_us=scenario.tail_us,
+            window_us=cell.window_us,
         )
         replay_fp: Optional[str] = None
         invariant: Optional[bool] = None
@@ -902,14 +927,15 @@ def run_cell(cell: SweepCell) -> CellResult:
         if cell.mode == "defined":
             assert result.recording is not None
             recording_bytes = result.recording.size_bytes()
-            replay = run_ls_replay(
-                graph,
-                result.recording,
-                ordering=scenario.ordering,
-                daemon_factory=daemon_factory,
-            )
-            replay_fp = replay.fingerprint
-            invariant = replay_fp == result.fingerprint
+            if cell.check_invariant:
+                replay = run_ls_replay(
+                    graph,
+                    result.recording,
+                    ordering=scenario.ordering,
+                    daemon_factory=daemon_factory,
+                )
+                replay_fp = replay.fingerprint
+                invariant = replay_fp == result.fingerprint
         expected = scenario.expect(result) if scenario.expect else None
         return CellResult(
             scenario=cell.scenario,
@@ -917,6 +943,8 @@ def run_cell(cell: SweepCell) -> CellResult:
             mode=cell.mode,
             repeat=cell.repeat,
             jitter_seed=cell.jitter_seed,
+            window_us=cell.window_us,
+            jitter_us=cell.jitter_us,
             fingerprint=result.fingerprint,
             replay_fingerprint=replay_fp,
             invariant_ok=invariant,
@@ -925,6 +953,7 @@ def run_cell(cell: SweepCell) -> CellResult:
             rollbacks=result.rollbacks,
             deliveries=sum(len(log) for log in result.logs.values()),
             recording_bytes=recording_bytes,
+            headroom=result.headroom,
             wall_seconds=time.perf_counter() - start,
         )
     except Exception as exc:  # pragma: no cover - exercised via error cells
@@ -934,6 +963,8 @@ def run_cell(cell: SweepCell) -> CellResult:
             mode=cell.mode,
             repeat=cell.repeat,
             jitter_seed=cell.jitter_seed,
+            window_us=cell.window_us,
+            jitter_us=cell.jitter_us,
             wall_seconds=time.perf_counter() - start,
             error=f"{type(exc).__name__}: {exc}",
         )
@@ -951,6 +982,8 @@ def _merge_streamed(cell: SweepCell, payload: Dict) -> CellResult:
         mode=cell.mode,
         repeat=cell.repeat,
         jitter_seed=cell.jitter_seed,
+        window_us=cell.window_us,
+        jitter_us=cell.jitter_us,
         **payload,
     )
 
@@ -1161,6 +1194,9 @@ class SweepReport:
                 "late_deliveries": c.late_deliveries,
                 "fingerprint": c.fingerprint,
                 "replay_fingerprint": c.replay_fingerprint,
+                "headroom": (
+                    c.headroom.to_dict() if c.headroom is not None else None
+                ),
             }
 
         splits = []
@@ -1197,10 +1233,12 @@ class SweepReport:
         }
 
 
-#: Slots in the shared-memory result ring.  Small by design: the parent
-#: drains continuously, so the ring only needs to absorb bursts -- its
-#: size is what keeps parent memory flat on 1000+-cell grids.
-STREAM_RING_CAPACITY = 128
+#: Fixed override for the shared-memory result ring's slot count.  The
+#: default (``None``) sizes the ring adaptively from the grid size and
+#: the record width (:func:`repro.sweep_stream.adaptive_ring_capacity`);
+#: set an integer to pin it (tests use tiny rings to exercise
+#: backpressure).
+STREAM_RING_CAPACITY: Optional[int] = None
 
 
 class SweepRunner:
@@ -1315,16 +1353,30 @@ class SweepRunner:
         """
         cells = self.grid()
         start = time.perf_counter()
-        by_index: Dict[int, CellResult] = {}
-        for index, result in self._iter_results(cells, progress):
-            by_index[index] = result
         return SweepReport(
-            cells=[by_index[i] for i in range(len(cells))],
+            cells=self.run_cells(cells, progress=progress),
             seeds=self.seeds,
             workers=self.workers,
             repeats=self.repeats,
             wall_seconds=time.perf_counter() - start,
         )
+
+    def run_cells(
+        self,
+        cells: Sequence[SweepCell],
+        progress: Optional[Callable[[CellResult], None]] = None,
+    ) -> List[CellResult]:
+        """Execute an explicit cell list (same transports as :meth:`run`),
+        returning results in the given cell order.
+
+        This is the execution surface for callers that build their own
+        grids with per-cell overrides -- the window-envelope mapper grids
+        (scenario, jitter, window, seed) rather than this runner's
+        (scenario, seed, mode, repeat)."""
+        by_index: Dict[int, CellResult] = {}
+        for index, result in self._iter_results(list(cells), progress):
+            by_index[index] = result
+        return [by_index[i] for i in range(len(cells))]
 
     def stream(
         self, progress: Optional[Callable[[CellResult], None]] = None
@@ -1376,14 +1428,20 @@ class SweepRunner:
         import multiprocessing
         from concurrent.futures import wait
 
-        from repro.sweep_stream import ResultRing, decode_record
+        from repro.sweep_stream import (
+            ResultRing,
+            adaptive_ring_capacity,
+            decode_record,
+        )
 
         ctx = self._worker_context() or multiprocessing.get_context()
+        capacity = (
+            adaptive_ring_capacity(len(cells))
+            if STREAM_RING_CAPACITY is None
+            else max(2, min(len(cells), STREAM_RING_CAPACITY))
+        )
         try:
-            ring = ResultRing.create(
-                capacity=max(2, min(len(cells), STREAM_RING_CAPACITY)),
-                lock=ctx.Lock(),
-            )
+            ring = ResultRing.create(capacity=capacity, lock=ctx.Lock())
         except OSError as exc:  # pragma: no cover - no usable shared memory
             import warnings
 
@@ -1490,6 +1548,8 @@ class SweepRunner:
                     mode=cell.mode,
                     repeat=cell.repeat,
                     jitter_seed=cell.jitter_seed,
+                    window_us=cell.window_us,
+                    jitter_us=cell.jitter_us,
                     error=error,
                 )
                 if progress is not None:

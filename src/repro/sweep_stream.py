@@ -40,6 +40,8 @@ import time
 from multiprocessing import shared_memory
 from typing import Dict, List, Optional, Tuple
 
+from repro.core.history import WindowHeadroomStats
+
 #: Header layout: write cursor, read cursor (both monotonically
 #: increasing record counts), capacity, record size, writers-closed flag.
 _HEADER = struct.Struct("<QQIIB")
@@ -66,6 +68,12 @@ RECORD = struct.Struct(
     "Q"                  # deliveries
     "Q"                  # recording bytes
     "d"                  # wall seconds
+    "Q"                  # headroom: effective window (us)
+    "I"                  # headroom: late count
+    "Q"                  # headroom: max deficit (us)
+    "Q"                  # headroom: p50 deficit (us)
+    "Q"                  # headroom: p90 deficit (us)
+    "Q"                  # headroom: p99 deficit (us)
     f"{_FP_BYTES}s"      # fingerprint (utf-8 hex)
     f"{_FP_BYTES}s"      # replay fingerprint (utf-8 hex)
     f"{_ERROR_BYTES}s"   # error message (utf-8, truncated)
@@ -79,6 +87,7 @@ _F_EXPECTED_PRESENT = 1 << 3
 _F_EXPECTED_OK = 1 << 4
 _F_RECORDING_PRESENT = 1 << 5
 _F_REPLAY_PRESENT = 1 << 6
+_F_HEADROOM_PRESENT = 1 << 7
 
 
 def _fp_bytes(fingerprint: Optional[str], field: str) -> bytes:
@@ -113,6 +122,9 @@ def encode_result(index: int, result) -> bytes:
             flags |= _F_EXPECTED_OK
     if result.recording_bytes is not None:
         flags |= _F_RECORDING_PRESENT
+    headroom = getattr(result, "headroom", None)
+    if headroom is not None:
+        flags |= _F_HEADROOM_PRESENT
     fingerprint = _fp_bytes(result.fingerprint, "fingerprint")
     replay = b""
     if result.replay_fingerprint is not None:
@@ -129,6 +141,12 @@ def encode_result(index: int, result) -> bytes:
         result.deliveries,
         result.recording_bytes or 0,
         result.wall_seconds,
+        headroom.window_us if headroom is not None else 0,
+        headroom.late_count if headroom is not None else 0,
+        headroom.max_deficit_us if headroom is not None else 0,
+        headroom.p50_deficit_us if headroom is not None else 0,
+        headroom.p90_deficit_us if headroom is not None else 0,
+        headroom.p99_deficit_us if headroom is not None else 0,
         fingerprint,
         replay,
         error,
@@ -148,10 +166,28 @@ def decode_record(raw: bytes) -> Tuple[int, Dict]:
         deliveries,
         recording_bytes,
         wall_seconds,
+        hr_window,
+        hr_late,
+        hr_max,
+        hr_p50,
+        hr_p90,
+        hr_p99,
         fingerprint,
         replay,
         error,
     ) = RECORD.unpack(raw)
+    headroom = (
+        WindowHeadroomStats(
+            window_us=hr_window,
+            late_count=hr_late,
+            max_deficit_us=hr_max,
+            p50_deficit_us=hr_p50,
+            p90_deficit_us=hr_p90,
+            p99_deficit_us=hr_p99,
+        )
+        if flags & _F_HEADROOM_PRESENT
+        else None
+    )
     return index, {
         "fingerprint": fingerprint[:fp_len].decode("utf-8"),
         "replay_fingerprint": (
@@ -175,6 +211,7 @@ def decode_record(raw: bytes) -> Tuple[int, Dict]:
         "recording_bytes": (
             recording_bytes if flags & _F_RECORDING_PRESENT else None
         ),
+        "headroom": headroom,
         "wall_seconds": wall_seconds,
         "error": (
             error[:error_len].decode("utf-8", errors="replace")
@@ -182,6 +219,34 @@ def decode_record(raw: bytes) -> Tuple[int, Dict]:
             else None
         ),
     }
+
+
+#: Adaptive ring sizing (see :func:`adaptive_ring_capacity`): never fewer
+#: slots than this, however wide the record grows.
+RING_CAPACITY_FLOOR = 16
+#: ...and never more shared memory than this for the ring's data area,
+#: however large the grid -- the ring exists to keep the parent's
+#: transport state flat, so its own footprint must stay bounded too.
+RING_CAPACITY_BUDGET_BYTES = 1 << 20
+
+
+def adaptive_ring_capacity(grid_cells: int, record_size: int = RECORD_SIZE) -> int:
+    """Ring slots for a grid of ``grid_cells`` results of ``record_size``.
+
+    The parent drains continuously, so the ring only needs to absorb
+    bursts: a grid never needs more slots than cells, small grids get a
+    ring exactly their size (min 2 -- the ring machinery needs a slot to
+    wrap), and large grids are clamped by a fixed shared-memory budget
+    so a 100k-cell sweep does not allocate a 50 MB segment.  The floor
+    guarantees burst absorption even if the record ever grows past the
+    budget-implied slot count.
+    """
+    if grid_cells < 1:
+        raise ValueError("grid must have at least one cell")
+    if record_size < 1:
+        raise ValueError("record size must be positive")
+    ceiling = max(RING_CAPACITY_FLOOR, RING_CAPACITY_BUDGET_BYTES // record_size)
+    return max(2, min(grid_cells, ceiling))
 
 
 class RingClosedError(RuntimeError):

@@ -18,13 +18,22 @@ import tracemalloc
 import pytest
 
 import repro.sweep as sweep_mod
+from repro.core.history import WindowHeadroomStats
 from repro.sweep import CellResult, SweepRunner
 from repro.sweep_stream import (
     RECORD_SIZE,
+    RING_CAPACITY_BUDGET_BYTES,
+    RING_CAPACITY_FLOOR,
     ResultRing,
     RingClosedError,
+    adaptive_ring_capacity,
     decode_record,
     encode_result,
+)
+
+_HEADROOM = WindowHeadroomStats(
+    window_us=150_000, late_count=7, max_deficit_us=216_276,
+    p50_deficit_us=144_529, p90_deficit_us=144_533, p99_deficit_us=216_276,
 )
 
 
@@ -33,7 +42,8 @@ def _result(**overrides) -> CellResult:
         scenario="flap-storm", seed=3, mode="defined", repeat=1,
         jitter_seed=77, fingerprint="ab" * 32, replay_fingerprint="ab" * 32,
         invariant_ok=True, expected_ok=None, late_deliveries=2, rollbacks=9,
-        deliveries=12345, recording_bytes=4096, wall_seconds=0.25,
+        deliveries=12345, recording_bytes=4096, headroom=_HEADROOM,
+        wall_seconds=0.25,
     )
     base.update(overrides)
     return CellResult(**base)
@@ -54,9 +64,15 @@ class TestRecordCodec:
             "rollbacks": 9,
             "deliveries": 12345,
             "recording_bytes": 4096,
+            "headroom": _HEADROOM,
             "wall_seconds": 0.25,
             "error": None,
         }
+
+    def test_round_trip_no_headroom(self):
+        raw = encode_result(0, _result(headroom=None))
+        _, payload = decode_record(raw)
+        assert payload["headroom"] is None
 
     def test_round_trip_none_fields(self):
         raw = encode_result(0, _result(
@@ -79,6 +95,39 @@ class TestRecordCodec:
     def test_oversized_fingerprint_rejected_loudly(self):
         with pytest.raises(ValueError, match="widen _FP_BYTES"):
             encode_result(1, _result(fingerprint="f" * 65))
+
+
+class TestAdaptiveRingCapacity:
+    """The ring is sized from the grid and the record width (with a
+    floor and a shared-memory ceiling) instead of a fixed 128 slots."""
+
+    def test_small_grid_gets_exactly_grid_sized_ring(self):
+        assert adaptive_ring_capacity(5) == 5
+        assert adaptive_ring_capacity(1) == 2  # ring minimum
+
+    def test_large_grid_clamped_by_memory_budget(self):
+        cap = adaptive_ring_capacity(1_000_000)
+        assert cap == RING_CAPACITY_BUDGET_BYTES // RECORD_SIZE
+        assert cap * RECORD_SIZE <= RING_CAPACITY_BUDGET_BYTES
+
+    def test_wide_records_keep_the_slot_floor(self):
+        # a record wider than budget/floor would starve the ring of
+        # burst absorption; the floor wins over the byte budget
+        huge_record = RING_CAPACITY_BUDGET_BYTES // 4
+        assert adaptive_ring_capacity(10_000, huge_record) == RING_CAPACITY_FLOOR
+
+    def test_monotone_in_grid_size_until_the_ceiling(self):
+        caps = [adaptive_ring_capacity(n) for n in (2, 64, 1024, 1 << 20)]
+        assert caps == sorted(caps)
+
+    def test_rejects_degenerate_inputs(self):
+        with pytest.raises(ValueError):
+            adaptive_ring_capacity(0)
+        with pytest.raises(ValueError):
+            adaptive_ring_capacity(10, 0)
+
+    def test_streamed_runner_uses_adaptive_capacity_by_default(self):
+        assert sweep_mod.STREAM_RING_CAPACITY is None
 
 
 class TestResultRing:

@@ -77,6 +77,110 @@ class TestSlackExhaustionWarns:
         ]
 
 
+class TestWarningThrottling:
+    """The warning contract, pinned: one warning on the first late
+    delivery, one more per deficit *escalation*, never one per event --
+    while the structured stats record every single deficit."""
+
+    def _shim(self):
+        """A started two-node DEFINED net (no daemon); node a's shim."""
+        from repro.core.shim import DefinedShim
+        from repro.simnet.network import build_network
+
+        net = build_network([("a", "b", 2_000)], seed=0, jitter_us=0)
+        net.attach(lambda node: DefinedShim(node))
+        net.start()
+        return net.nodes["a"].stack
+
+    def _late_entry(self, shim, seq):
+        from repro.core.history import HistoryEntry
+        from repro.simnet.events import ExternalEvent
+
+        return HistoryEntry(
+            kind="ext",
+            key=shim.ordering.external_key(0, "a", seq),
+            event=ExternalEvent(time_us=0, kind="link_down", target=("a", "b")),
+            group=0,
+            seq=seq,
+        )
+
+    def _arm_pruned_window(self, shim, pruned_at_us):
+        """Make every group-0 arrival sort below the pruned boundary."""
+        shim.history.last_pruned_key = shim.ordering.external_key(5, "a", 999)
+        shim.history.last_pruned_at_us = pruned_at_us
+
+    def test_repeated_same_deficit_warns_once(self):
+        shim = self._shim()
+        self._arm_pruned_window(shim, pruned_at_us=0)
+        # sim.now stays put between admissions: identical deficits
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for seq in range(5):
+                shim._admit(self._late_entry(shim, seq))
+        emitted = [
+            w.message for w in caught
+            if issubclass(w.category, HistoryWindowWarning)
+        ]
+        assert shim.late_deliveries == 5
+        assert len(emitted) == 1
+        assert emitted[0].late_count == 1
+        # ...but the distribution recorded all five
+        assert shim.headroom_stats().late_count == 5
+
+    def test_only_escalating_deficits_rewarn(self):
+        shim = self._shim()
+        sim = shim.sim
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            # deficit D1, repeated (one warning)
+            self._arm_pruned_window(shim, pruned_at_us=0)
+            shim._admit(self._late_entry(shim, 0))
+            shim._admit(self._late_entry(shim, 1))
+            # deficit shrinks (pruned boundary is *younger*): no re-warn
+            self._arm_pruned_window(shim, pruned_at_us=sim.now)
+            sim.run(until_us=sim.now + 10_000)
+            shim._admit(self._late_entry(shim, 2))
+            # deficit escalates past D1: exactly one more warning
+            self._arm_pruned_window(shim, pruned_at_us=0)
+            sim.run(until_us=sim.now + shim.window_us() + 1_000_000)
+            shim._admit(self._late_entry(shim, 3))
+        emitted = [
+            w.message for w in caught
+            if issubclass(w.category, HistoryWindowWarning)
+        ]
+        assert [w.late_count for w in emitted] == [1, 4]
+        assert emitted[1].deficit_us > emitted[0].deficit_us
+
+    def test_structured_stats_agree_with_warned_lower_bounds(self):
+        """End to end on a real undersized run: the warned deficits must
+        be a subset of the recorded distribution, the largest warned
+        deficit must equal the recorded max, and the warned late counts
+        must stay within the recorded total."""
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            result = _run("latency-jitter", window_us=100_000, jitter_us=300_000)
+        emitted = [
+            w.message for w in caught
+            if issubclass(w.category, HistoryWindowWarning)
+        ]
+        assert emitted and result.headroom is not None
+        stats = result.headroom
+        assert stats.window_us == 100_000
+        assert stats.late_count == result.late_deliveries > 0
+        warned_deficits = [
+            w.deficit_us for w in emitted if w.deficit_us is not None
+        ]
+        # warnings only fire on escalation, so the largest warned deficit
+        # IS the distribution's max...
+        assert max(warned_deficits) == stats.max_deficit_us
+        # ...every warned bound sits inside the distribution's range...
+        assert all(0 <= d <= stats.max_deficit_us for d in warned_deficits)
+        # ...and far fewer warnings fired than deficits were recorded
+        assert len(emitted) <= stats.late_count
+        assert stats.p50_deficit_us <= stats.p90_deficit_us
+        assert stats.p90_deficit_us <= stats.p99_deficit_us <= stats.max_deficit_us
+
+
 class TestPrunedBoundaryTracking:
     def test_history_records_pruned_delivery_time(self):
         ordering = OptimizedOrdering()
