@@ -1,0 +1,243 @@
+"""Machine-readable performance baselines (``repro bench``).
+
+Measures the three throughput numbers the perf trajectory tracks and
+emits them as JSON, so every PR from here on can be compared against a
+committed baseline (``BENCH_5.json``) instead of anecdotes:
+
+* **checkpoint**: per-op cost of ``DefinedShim._take_checkpoint`` on a
+  settled flap-storm@40 network, under both snapshot mechanisms.  This
+  is the per-delivery hot path; the COW store must beat the deepcopy
+  fallback by a wide margin (the acceptance bar is 5x; in practice it is
+  an order of magnitude or two).
+* **run**: end-to-end wall time of a rollback-heavy production cell
+  under both mechanisms, with the fingerprints cross-checked -- the
+  differential guarantee and the speedup in one number.
+* **sweep**: grid cells per second through :class:`~repro.sweep.SweepRunner`
+  (the unit every envelope/fuzz/sweep campaign is billed in).
+
+Wall-clock numbers are host-dependent: the committed baseline records
+the machine that produced it, and the CI comparison *warns* (rather than
+fails) beyond the tolerance, because runner hardware drifts.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import statistics
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.harness import build_ospf_network, run_production
+from repro.simnet.engine import SECOND
+
+
+def _settled_defined_network(scenario_name: str, seed: int, snapshots: str,
+                             warm_events: int = 2):
+    """A DEFINED-RB network with populated daemon state: booted, beaconed,
+    and driven through the scenario's first few external events."""
+    from repro.sweep import get_scenario
+
+    scenario = get_scenario(scenario_name)
+    graph = scenario.topology(seed)
+    schedule = scenario.schedule(graph, seed)
+    daemon_factory = scenario.daemon(graph) if scenario.daemon else None
+    net, _recorder, beacons, _ = build_ospf_network(
+        graph,
+        mode="defined",
+        seed=seed,
+        jitter_us=scenario.jitter_us,
+        ordering=scenario.ordering,
+        daemon_factory=daemon_factory,
+        snapshots=snapshots,
+    )
+    assert beacons is not None
+    beacons.start()
+    net.start()
+    for event in schedule.sorted()[:warm_events]:
+        net.run(until_us=event.time_us)
+        net.apply_event(event)
+    net.run(until_us=net.sim.now + SECOND)
+    return net, beacons
+
+
+def checkpoint_bench(
+    scenario: str = "flap-storm@40", seed: int = 1, iters: int = 300
+) -> Dict[str, Any]:
+    """Per-op ``_take_checkpoint`` cost, COW vs deepcopy, on ``scenario``."""
+    out: Dict[str, Any] = {"scenario": scenario, "seed": seed, "iters": iters}
+    for snapshots in ("cow", "deepcopy"):
+        net, beacons = _settled_defined_network(scenario, seed, snapshots)
+        shim = max(
+            (node.stack for node in net.nodes.values()),
+            key=lambda stack: len(stack.delivery_log),
+        )
+        samples: List[float] = []
+        for _ in range(iters):
+            t0 = time.perf_counter_ns()
+            shim._take_checkpoint()
+            samples.append((time.perf_counter_ns() - t0) / 1000.0)
+        beacons.stop()
+        out[snapshots] = {
+            "mean_us": round(statistics.fmean(samples), 3),
+            "median_us": round(statistics.median(samples), 3),
+            "p90_us": round(sorted(samples)[int(0.9 * len(samples))], 3),
+            "state_bytes": shim._store.live_bytes() if shim._store else None,
+        }
+    out["speedup"] = round(
+        out["deepcopy"]["median_us"] / max(out["cow"]["median_us"], 1e-9), 2
+    )
+    return out
+
+
+def run_bench(scenario: str = "flap-storm", seed: int = 1) -> Dict[str, Any]:
+    """End-to-end production wall time under both snapshot mechanisms,
+    with the differential fingerprint check folded in."""
+    from repro.sweep import get_scenario
+
+    sc = get_scenario(scenario)
+    graph = sc.topology(seed)
+    schedule = sc.schedule(graph, seed)
+    daemon_factory = sc.daemon(graph) if sc.daemon else None
+    out: Dict[str, Any] = {"scenario": scenario, "seed": seed}
+    fingerprints = {}
+    for snapshots in ("cow", "deepcopy"):
+        result = run_production(
+            graph,
+            schedule,
+            mode="defined",
+            seed=seed,
+            jitter_us=sc.jitter_us,
+            ordering=sc.ordering,
+            daemon_factory=daemon_factory,
+            measure_convergence=False,
+            settle_us=sc.settle_us,
+            tail_us=sc.tail_us,
+            snapshots=snapshots,
+        )
+        fingerprints[snapshots] = result.fingerprint
+        out[snapshots] = {
+            "wall_s": round(result.wall_seconds, 3),
+            "rollbacks": result.rollbacks,
+            "deliveries": sum(len(log) for log in result.logs.values()),
+        }
+    out["speedup"] = round(
+        out["deepcopy"]["wall_s"] / max(out["cow"]["wall_s"], 1e-9), 2
+    )
+    out["fingerprints_match"] = fingerprints["cow"] == fingerprints["deepcopy"]
+    return out
+
+
+def sweep_bench(
+    scenarios=("flap-storm", "partition"), seeds=(1,), workers: int = 1
+) -> Dict[str, Any]:
+    """Grid throughput in cells/second (defined mode, Theorem-1 checks on)."""
+    from repro.sweep import SweepRunner
+
+    runner = SweepRunner(
+        scenarios=list(scenarios),
+        seeds=list(seeds),
+        modes=("defined",),
+        workers=workers,
+    )
+    report = runner.run()
+    cells = len(report.cells)
+    return {
+        "scenarios": list(scenarios),
+        "cells": cells,
+        "ok": report.ok(),
+        "wall_s": round(report.wall_seconds, 3),
+        "cells_per_s": round(cells / max(report.wall_seconds, 1e-9), 3),
+    }
+
+
+def collect(quick: bool = False) -> Dict[str, Any]:
+    """Run the whole bench suite and return the JSON-able report."""
+    report: Dict[str, Any] = {
+        "bench_format": 1,
+        "env": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "checkpoint": checkpoint_bench(
+            scenario="flap-storm@20" if quick else "flap-storm@40",
+            iters=100 if quick else 300,
+        ),
+        "run": run_bench(),
+        "sweep": sweep_bench(),
+    }
+    return report
+
+
+#: (json-path, human name) of the numbers the regression gate watches.
+#: Higher-is-better metrics are marked so the comparison signs flip.
+WATCHED = (
+    (("checkpoint", "cow", "median_us"), "checkpoint cow median_us", False),
+    (("checkpoint", "speedup"), "checkpoint speedup", True),
+    (("run", "cow", "wall_s"), "cow run wall_s", False),
+    (("sweep", "cells_per_s"), "sweep cells_per_s", True),
+)
+
+
+def _dig(doc: Dict[str, Any], path) -> Optional[float]:
+    node: Any = doc
+    for part in path:
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def compare(current: Dict[str, Any], baseline: Dict[str, Any],
+            tolerance: float = 0.25) -> List[str]:
+    """Regressions of watched metrics beyond ``tolerance``, as messages.
+
+    Lower-is-better metrics regress when current > baseline * (1 + tol);
+    higher-is-better ones when current < baseline * (1 - tol).
+    """
+    problems: List[str] = []
+    for path, label, higher_is_better in WATCHED:
+        base = _dig(baseline, path)
+        cur = _dig(current, path)
+        if base is None or cur is None or base == 0:
+            continue
+        if higher_is_better:
+            if cur < base * (1 - tolerance):
+                problems.append(
+                    f"{label} regressed: {cur} vs baseline {base} "
+                    f"(-{(1 - cur / base) * 100:.0f}%)"
+                )
+        elif cur > base * (1 + tolerance):
+            problems.append(
+                f"{label} regressed: {cur} vs baseline {base} "
+                f"(+{(cur / base - 1) * 100:.0f}%)"
+            )
+    return problems
+
+
+def main_bench(json_out: Optional[str], baseline_path: Optional[str],
+               tolerance: float, quick: bool) -> int:
+    """CLI body for ``repro bench`` (kept here so it is importable)."""
+    report = collect(quick=quick)
+    text = json.dumps(report, indent=2, sort_keys=True)
+    print(text)
+    if json_out:
+        with open(json_out, "w") as fh:
+            fh.write(text + "\n")
+        print(f"\nbench report written to {json_out}", file=sys.stderr)
+    if baseline_path:
+        with open(baseline_path) as fh:
+            baseline = json.load(fh)
+        problems = compare(report, baseline, tolerance=tolerance)
+        for problem in problems:
+            # "::warning::" renders as an annotation on GitHub runners and
+            # is harmless noise elsewhere; bench hosts vary, so regressions
+            # warn rather than fail.
+            print(f"::warning::bench regression vs {baseline_path}: {problem}")
+        if not problems:
+            print(f"bench within {tolerance:.0%} of {baseline_path}",
+                  file=sys.stderr)
+    return 0

@@ -17,6 +17,8 @@ Usage (after ``pip install -e .``)::
     python -m repro.cli envelope --scenarios flap-storm@20 \
         --jitters 0,50,300 --windows auto --suggest
     python -m repro.cli scale --sizes 20,40 --events 4
+    python -m repro.cli bench --json BENCH_5.json
+    python -m repro.cli bench --baseline BENCH_5.json --tolerance 0.25
     python -m repro.cli casestudy bgp
     python -m repro.cli casestudy rip
 
@@ -70,6 +72,7 @@ def cmd_production(args: argparse.Namespace) -> int:
     result = run_production(
         graph, trace, mode=args.mode, seed=args.seed,
         ordering=args.ordering, strategy=args.strategy,
+        snapshots=args.snapshots,
     )
     rows = [
         ["fingerprint", result.fingerprint[:24] + "..."],
@@ -189,6 +192,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             workers=args.workers,
             repeats=args.repeats,
             transport=args.transport,
+            snapshots=args.snapshots,
         )
     except (KeyError, ValueError) as exc:
         raise SystemExit(exc.args[0] if exc.args else str(exc))
@@ -307,6 +311,17 @@ def cmd_envelope(args: argparse.Namespace) -> int:
     return 0 if report.ok() else 1
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import main_bench
+
+    return main_bench(
+        json_out=args.json,
+        baseline_path=args.baseline,
+        tolerance=args.tolerance,
+        quick=args.quick,
+    )
+
+
 def cmd_scale(args: argparse.Namespace) -> int:
     sizes = [int(s) for s in args.sizes.split(",")]
     packets = {"XORP": [], "DEFINED-RB(OO)": []}
@@ -399,6 +414,11 @@ def build_parser() -> argparse.ArgumentParser:
     prod.add_argument("--ordering", default="OO", choices=["OO", "RO"])
     prod.add_argument("--strategy", default="MI",
                       choices=["MI", "FK", "TF", "PF", "TM"])
+    prod.add_argument("--snapshots", default="cow",
+                      choices=["cow", "deepcopy"],
+                      help="checkpoint mechanism: copy-on-write store "
+                           "versions (default) or the full-deepcopy "
+                           "fallback (differential testing)")
     prod.add_argument("--seed", type=int, default=1)
     prod.add_argument("--recording-out", default=None)
     prod.set_defaults(func=cmd_production)
@@ -447,6 +467,10 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["shm", "futures"],
                        help="parallel result path: shared-memory streaming "
                             "(default) or one pickled future per cell")
+    sweep.add_argument("--snapshots", default=None,
+                       choices=["cow", "deepcopy"],
+                       help="checkpoint mechanism for every cell's DEFINED "
+                            "stacks (default: harness default, cow)")
     sweep.add_argument("--report-out", default=None, metavar="PATH",
                        help="write the JSON divergence report here")
     sweep.add_argument("--list", action="store_true",
@@ -520,6 +544,24 @@ def build_parser() -> argparse.ArgumentParser:
     env.add_argument("--verbose", action="store_true",
                      help="print each cell as it completes")
     env.set_defaults(func=cmd_envelope)
+
+    bench = sub.add_parser(
+        "bench",
+        help="machine-readable perf baselines (checkpoint/rollback/sweep "
+             "throughput) as JSON, with optional baseline comparison",
+    )
+    bench.add_argument("--json", default=None, metavar="PATH",
+                       help="write the JSON bench report here")
+    bench.add_argument("--baseline", default=None, metavar="PATH",
+                       help="compare against a committed bench JSON and "
+                            "emit ::warning:: annotations on regressions")
+    bench.add_argument("--tolerance", type=float, default=0.25,
+                       help="relative regression tolerance vs the baseline "
+                            "(default 0.25)")
+    bench.add_argument("--quick", action="store_true",
+                       help="smaller workloads (flap-storm@20, fewer "
+                            "iterations) for smoke runs")
+    bench.set_defaults(func=cmd_bench)
 
     scale = sub.add_parser("scale", help="size scalability sweep (Fig 8)")
     scale.add_argument("--sizes", default="20,40")

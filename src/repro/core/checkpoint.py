@@ -21,16 +21,26 @@ the paper's figures; the benches then measure them end-to-end through the
 rollback engine, which supplies the workload-dependent variance (rollback
 depth, state size).
 
-The checkpointed *content* is exact regardless of strategy: a deep
+The checkpointed *content* is exact regardless of strategy: a versioned
 snapshot of the daemon state plus the shim's counters and timer table.
-Strategies only differ in what the checkpoint *costs*.
+Cost-model strategies only differ in what the checkpoint is *charged*.
+
+Orthogonally to the cost model, the checkpoint *mechanism* is selectable
+per run (:class:`~repro.core.statestore.SnapshotStrategy`): store-backed
+daemons checkpoint through a copy-on-write
+:class:`~repro.core.statestore.StateStore` whose real cost is
+O(dirty-bytes) -- the MI scheme's scaling, for real -- with the classic
+full-deepcopy path kept as a fallback for differential testing.  When
+the store is in play, :meth:`CheckpointStrategy.memory_bytes` receives
+the *measured* private byte count (undo journals / materialized
+snapshots) instead of modelling it as a fraction.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, Tuple
+from typing import Any, Optional, Tuple
 
 #: Default resident size of a router daemon process (Figure 7c's x-axis
 #: starts around 100 MB for unmodified XORP).
@@ -102,15 +112,20 @@ class CheckpointStrategy:
         state_bytes: int,
         live_checkpoints: int,
         process_bytes: int = DEFAULT_PROCESS_BYTES,
+        private_bytes: Optional[int] = None,
     ) -> Tuple[int, int]:
         """(virtual, physical) memory footprint with ``live_checkpoints``
         outstanding.
 
         Virtual memory grows linearly with the number of forked processes
         (each maps the whole image); physical memory only pays the pages
-        actually written since the fork.
+        actually written since the fork.  When ``private_bytes`` is given
+        (a store-backed run's *measured* private copies), it replaces the
+        modelled per-checkpoint share.
         """
         virtual = process_bytes * (1 + live_checkpoints)
+        if private_bytes is not None:
+            return virtual, process_bytes + private_bytes
         physical = process_bytes + int(
             live_checkpoints * max(state_bytes, self.physical_share * state_bytes)
         )

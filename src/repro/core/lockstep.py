@@ -48,6 +48,7 @@ from repro.core.checkpoint import Checkpoint
 from repro.core.history import HistoryEntry
 from repro.core.ordering import OptimizedOrdering, OrderingFunction, OrderKey
 from repro.core.recorder import RecordedEvent, Recording
+from repro.core.statestore import SnapshotStrategy, StateStore
 from repro.core.virtual_time import TimerTable
 from repro.simnet.events import ExternalEvent, LINK_DOWN, LINK_UP, NODE_DOWN, NODE_UP
 from repro.simnet.messages import Annotation, Message, Unsend
@@ -76,12 +77,19 @@ class LockstepStack(Stack):
         chain_bound: int = 64,
         rto_us: int = 50_000,
         poll_us: int = 2_000,
+        snapshots: "SnapshotStrategy | str" = SnapshotStrategy.COW,
     ) -> None:
         super().__init__(node)
         self.ordering = ordering
         self.drops = recording.drops
         self.chain_bound = chain_bound
         self.poll_us = poll_us
+        #: Group checkpoints go through a store-backed daemon's state
+        #: store (one version per group, restored per re-execution cycle);
+        #: must match the production shims for differential runs, though
+        #: either mechanism replays identically.
+        self.snapshot_strategy = SnapshotStrategy.of(snapshots)
+        self._store: Optional[StateStore] = None
         #: Must equal the production shims' values: annotations (hence
         #: ordering keys and drop identities) are recomputed here and have
         #: to match bit for bit.  Delay estimates come from the recording
@@ -126,7 +134,12 @@ class LockstepStack(Stack):
             if self.coordinator is not None and self.coordinator.current_group >= 0
             else 0
         )
-        self.timers = TimerTable()
+        store = getattr(self.daemon, "store", None) if self.daemon is not None else None
+        if store is not None:
+            store.reset()
+            store.strategy = self.snapshot_strategy
+        self._store = store
+        self.timers = TimerTable(store=store)
         self._origin_seq = 0
         self._sub_seq = 0
         self._inputs.clear()
@@ -310,12 +323,22 @@ class LockstepStack(Stack):
             )
             self._inputs[entry.key] = entry
         self._group_checkpoint = self._take_checkpoint()
+        if self._store is not None:
+            # the previous group's checkpoint can never be restored again
+            self._store.release_before(self._group_checkpoint.app_state)
         self._group_log_index = len(self.delivery_log)
         self._emitted = {}
         self._processed_once = False
         self._dirty = True
 
     def _take_checkpoint(self) -> Checkpoint:
+        if self._store is not None:
+            return Checkpoint(
+                app_state=self._store.snapshot(),
+                shim_state=(self._origin_seq, self._sub_seq, None),
+                state_bytes=0,
+                taken_at_us=self.sim.now,
+            )
         app_state = self.daemon.snapshot() if self.daemon is not None else None
         shim_state = (self._origin_seq, self._sub_seq, self.timers.snapshot())
         return Checkpoint(
@@ -333,6 +356,8 @@ class LockstepStack(Stack):
         being wiped by the next re-execution.
         """
         self._group_checkpoint = self._take_checkpoint()
+        if self._store is not None:
+            self._store.release_before(self._group_checkpoint.app_state)
         self._group_log_index = len(self.delivery_log)
         self._emitted = {}
 
@@ -399,10 +424,14 @@ class LockstepStack(Stack):
 
     def _reprocess_group(self) -> int:
         assert self._group_checkpoint is not None
-        if self.daemon is not None:
-            self.daemon.restore(self._group_checkpoint.app_state)
-        self._origin_seq, self._sub_seq, timer_snap = self._group_checkpoint.shim_state
-        self.timers.restore(timer_snap)
+        if self._store is not None:
+            self._store.restore(self._group_checkpoint.app_state)
+            self._origin_seq, self._sub_seq, _ = self._group_checkpoint.shim_state
+        else:
+            if self.daemon is not None:
+                self.daemon.restore(self._group_checkpoint.app_state)
+            self._origin_seq, self._sub_seq, timer_snap = self._group_checkpoint.shim_state
+            self.timers.restore(timer_snap)
         del self.delivery_log[self._group_log_index:]
 
         self._new_outputs = []

@@ -42,6 +42,11 @@ def collect_unsends(rolled: Iterable[HistoryEntry]) -> Dict[str, List[int]]:
     Every message emitted while processing a rolled-back entry is invalid
     (it was produced from state that no longer exists) and must be rolled
     back at its receiver -- the cascading process of Figure 3.
+
+    The per-neighbor lists come back **canonical** (sorted; uids are
+    globally unique so duplicates cannot occur), satisfying
+    :class:`~repro.simnet.messages.Unsend`'s constructor contract without
+    another canonicalization pass on the rollback hot path.
     """
     plan: Dict[str, List[int]] = {}
     for entry in rolled:

@@ -47,6 +47,7 @@ from repro.core.history import (
 from repro.core.ordering import OptimizedOrdering, OrderingFunction
 from repro.core.recorder import Recorder
 from repro.core.rollback import collect_unsends, find_rollback_index, plan_replay
+from repro.core.statestore import SnapshotStrategy, StateStore
 from repro.core.virtual_time import TimerTable
 from repro.simnet.events import ExternalEvent
 from repro.simnet.messages import Annotation, Message, Unsend
@@ -124,6 +125,7 @@ class DefinedShim(Stack):
         window_us: Optional[int] = None,
         process_bytes: int = 100 * 1024 * 1024,
         hop_cost_us: Optional[int] = None,
+        snapshots: "SnapshotStrategy | str" = SnapshotStrategy.COW,
     ) -> None:
         super().__init__(node)
         self.ordering = ordering if ordering is not None else OptimizedOrdering()
@@ -131,6 +133,12 @@ class DefinedShim(Stack):
         self.recorder = recorder
         self.chain_bound = chain_bound
         self.process_bytes = process_bytes
+        #: How checkpoints are *taken* (``cow``: store-version snapshots,
+        #: O(dirty); ``deepcopy``: the old full-copy fallback), as opposed
+        #: to ``strategy``, which models what they *cost*.  Only effective
+        #: for store-backed daemons; others use the legacy deepcopy path.
+        self.snapshot_strategy = SnapshotStrategy.of(snapshots)
+        self._store: Optional[StateStore] = None
         self._window_us_override = window_us
         #: Deterministic per-hop estimate folded into d_i on top of the
         #: measured average link delay.  The paper measures link delays
@@ -222,7 +230,16 @@ class DefinedShim(Stack):
         self._booted_once = True
         self.vt = 0
         self.history = DeliveredHistory()
-        self.timers = TimerTable()
+        # Adopt a store-backed daemon's state store as the node's unified
+        # checkpoint store: daemon namespaces + timer table + counters are
+        # then captured by a single store version per delivery.  Reboots
+        # drop the old run's snapshots (the history window is reset too).
+        store = getattr(self.daemon, "store", None) if self.daemon is not None else None
+        if store is not None:
+            store.reset()
+            store.strategy = self.snapshot_strategy
+        self._store = store
+        self.timers = TimerTable(store=store)
         self._origin_seq = 0
         self._sub_seq = 0
         self._annihilate_pending.clear()
@@ -644,6 +661,16 @@ class DefinedShim(Stack):
     # delivery
     # ------------------------------------------------------------------
     def _take_checkpoint(self) -> Checkpoint:
+        store = self._store
+        if store is not None:
+            # one store version covers daemon state + timers; the shim's
+            # two counters ride alongside (plain ints, no copying needed)
+            return Checkpoint(
+                app_state=store.snapshot(),
+                shim_state=(self._origin_seq, self._sub_seq, None),
+                state_bytes=store.live_bytes(),
+                taken_at_us=self.sim.now,
+            )
         app_state = self.daemon.snapshot() if self.daemon is not None else None
         shim_state = (self._origin_seq, self._sub_seq, self.timers.snapshot())
         state_bytes = (
@@ -724,10 +751,14 @@ class DefinedShim(Stack):
         assert base.checkpoint is not None
 
         # 1. restore daemon + shim state from the divergence point
-        if self.daemon is not None:
-            self.daemon.restore(base.checkpoint.app_state)
-        self._origin_seq, self._sub_seq, timer_snap = base.checkpoint.shim_state
-        self.timers.restore(timer_snap)
+        if self._store is not None:
+            self._store.restore(base.checkpoint.app_state)
+            self._origin_seq, self._sub_seq, _ = base.checkpoint.shim_state
+        else:
+            if self.daemon is not None:
+                self.daemon.restore(base.checkpoint.app_state)
+            self._origin_seq, self._sub_seq, timer_snap = base.checkpoint.shim_state
+            self.timers.restore(timer_snap)
 
         # 2. retract the rolled-back deliveries from the execution log
         if base.log_index >= 0:
@@ -808,15 +839,32 @@ class DefinedShim(Stack):
 
     def _prune_window(self) -> None:
         cutoff = self.sim.now - self.window_us()
-        if cutoff > 0:
-            self.history.prune_before_time(cutoff)
+        if cutoff <= 0:
+            return
+        pruned = self.history.prune_before_time(cutoff)
+        if pruned and self._store is not None and len(self.history):
+            # entries older than the window can never be rolled back to
+            # again (Lemma 2): release their private copies in the store
+            oldest = self.history[0].checkpoint
+            if oldest is not None:
+                self._store.release_before(oldest.app_state)
 
     def _sample_memory(self) -> None:
-        state_bytes = (
-            self.daemon.state_size_bytes() if self.daemon is not None else 256
-        )
+        if self._store is not None:
+            # real shared-vs-private accounting: the live state is shared
+            # with every checkpoint; the store's undo journals (or, under
+            # the deepcopy fallback, its materialized snapshots) are the
+            # private bytes the checkpoints actually instantiated
+            state_bytes = self._store.live_bytes()
+            private: Optional[int] = self._store.private_bytes()
+        else:
+            state_bytes = (
+                self.daemon.state_size_bytes() if self.daemon is not None else 256
+            )
+            private = None
         virtual, physical = self.strategy.memory_bytes(
-            state_bytes, len(self.history), self.process_bytes
+            state_bytes, len(self.history), self.process_bytes,
+            private_bytes=private,
         )
         self.node.stats.record_memory(virtual, physical)
 

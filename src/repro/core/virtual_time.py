@@ -15,21 +15,65 @@ A timer armed at virtual time *v* for *k* units expires at ``v + max(1, k)``
 and fires when the beacon opening that group is observed.  Expiry order
 within a group is by creation sequence, which is deterministic because the
 daemons themselves execute deterministically under DEFINED.
+
+The table's backing state lives in :class:`~repro.core.statestore.Namespace`
+sub-stores, so a store-backed shim checkpoints timers through the same
+copy-on-write versioning as the daemon state -- no per-snapshot
+``tuple(sorted(...))`` materialization.  The due-order view (sorted by
+``(expiry, seq, key)``) is maintained incrementally by ``set``/``cancel``/
+``pop`` and rebuilt lazily after a store-level restore rewinds the
+namespace underneath it.  Standalone tables (no store) keep the classic
+``snapshot()``/``restore()`` tuple API for tests and legacy daemons.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from bisect import bisect_left, insort
+from typing import Optional, Tuple
+
+from repro.core.statestore import Namespace, StateStore
 
 TimerSnapshot = Tuple[Tuple[Tuple[str, Tuple[int, int]], ...], int]
 
 
 class TimerTable:
-    """Named virtual-time timers with snapshot/restore support."""
+    """Named virtual-time timers with snapshot/restore support.
 
-    def __init__(self) -> None:
-        self._timers: Dict[str, Tuple[int, int]] = {}  # key -> (expiry_vt, seq)
-        self._seq = 0
+    ``store`` binds the table's state into a :class:`StateStore` (the
+    shim's unified checkpoint store); construction wipes any previous
+    contents of the backing namespaces (a fresh table on each boot).
+    """
+
+    def __init__(self, store: Optional[StateStore] = None, name: str = "_timers"):
+        if store is not None:
+            self._timers = store.namespace(name)
+            self._meta = store.namespace(name + ".meta")
+            self._timers._wipe()
+            self._meta._wipe()
+        else:
+            self._timers = Namespace(name)
+            self._meta = Namespace(name + ".meta")
+        self._meta["seq"] = 0
+        #: Due-order view: sorted list of (expiry_vt, seq, key), kept in
+        #: lockstep with the namespace by the mutators below and rebuilt
+        #: lazily when the store rewinds the namespace underneath us.
+        self._due: list = []
+        self._due_dirty = False
+        # the namespaces are dedicated to this table: a reboot replaces
+        # the table object, so displace any stale listener as well
+        self._timers._listeners = [self._mark_dirty]
+        self._meta._listeners = [self._mark_dirty]
+
+    def _mark_dirty(self) -> None:
+        self._due_dirty = True
+
+    def _due_view(self) -> list:
+        if self._due_dirty:
+            self._due = sorted(
+                (expiry, seq, key) for key, (expiry, seq) in self._timers.items()
+            )
+            self._due_dirty = False
+        return self._due
 
     def set(self, key: str, current_vt: int, delay_units: int) -> int:
         """Arm (or re-arm) ``key``.  Returns the expiry virtual time.
@@ -40,17 +84,31 @@ class TimerTable:
         sequence number (the firing order within a group is creation
         order, matching a real event loop's re-insertion semantics).
         """
+        due = self._due_view()  # settle the view against pre-write state
         expiry = current_vt + max(1, delay_units)
-        self._timers[key] = (expiry, self._seq)
-        self._seq += 1
+        seq = self._meta["seq"]
+        self._meta["seq"] = seq + 1
+        old = self._timers.get(key)
+        self._timers[key] = (expiry, seq)
+        if old is not None:
+            del due[bisect_left(due, (old[0], old[1], key))]
+        insort(due, (expiry, seq, key))
         return expiry
+
+    def _drop(self, key: str) -> bool:
+        due = self._due_view()  # settle the view against pre-write state
+        old = self._timers.pop(key, None)
+        if old is None:
+            return False
+        del due[bisect_left(due, (old[0], old[1], key))]
+        return True
 
     def cancel(self, key: str) -> bool:
         """Disarm ``key``.  Returns True if it was armed."""
-        return self._timers.pop(key, None) is not None
+        return self._drop(key)
 
     def pop(self, key: str) -> None:
-        self._timers.pop(key, None)
+        self._drop(key)
 
     def is_armed(self, key: str) -> bool:
         return key in self._timers
@@ -65,28 +123,29 @@ class TimerTable:
         Returns ``(expiry_vt, seq, key)`` or ``None``.  Ties on expiry are
         broken by creation sequence, then key -- all deterministic.
         """
-        best: Optional[Tuple[int, int, str]] = None
-        for key, (expiry, seq) in self._timers.items():
-            if expiry <= vt_now:
-                cand = (expiry, seq, key)
-                if best is None or cand < best:
-                    best = cand
-        return best
+        due = self._due_view()
+        if due and due[0][0] <= vt_now:
+            return due[0]
+        return None
 
     def due_count(self, vt_now: int) -> int:
-        return sum(1 for expiry, _ in self._timers.values() if expiry <= vt_now)
+        due = self._due_view()
+        return bisect_left(due, (vt_now + 1,))
 
     def __len__(self) -> int:
         return len(self._timers)
 
     # ------------------------------------------------------------------
-    # checkpoint support
+    # checkpoint support (standalone / legacy path; store-backed tables
+    # are versioned wholesale by their StateStore)
     # ------------------------------------------------------------------
     def snapshot(self) -> TimerSnapshot:
-        """An immutable snapshot of the table (cheap: tuples only)."""
-        return (tuple(sorted(self._timers.items())), self._seq)
+        """An immutable snapshot of the table (cheap: the namespace's
+        sorted view is already maintained, nothing is re-sorted)."""
+        return (tuple(self._timers.items()), self._meta["seq"])
 
     def restore(self, snap: TimerSnapshot) -> None:
         items, seq = snap
-        self._timers = dict(items)
-        self._seq = seq
+        self._timers.replace(dict(items))
+        self._meta["seq"] = seq
+        self._due_dirty = True

@@ -110,12 +110,16 @@ def build_ospf_network(
     strategy: str = "MI",
     daemon_factory: Optional[Callable] = None,
     window_us: Optional[int] = None,
+    snapshots: str = "cow",
 ) -> Tuple[Network, Optional[Recorder], Optional[BeaconService], Optional[ComprehensiveLog]]:
     """Instantiate a production network in one of the four modes.
 
     Modes: ``vanilla`` (uninstrumented baseline), ``defined``
     (DEFINED-RB), ``ddos`` (stop-and-wait baseline), ``logging``
-    (vanilla + comprehensive recording).
+    (vanilla + comprehensive recording).  ``snapshots`` selects the
+    checkpoint *mechanism* for DEFINED-RB shims (``cow``: store-version
+    snapshots; ``deepcopy``: the full-copy fallback); ``strategy``
+    selects the checkpoint *cost model* (MI/TF/PF/TM).
     """
     net = to_network(graph, seed=seed, jitter_us=jitter_us)
     factory = daemon_factory or ospf_daemon_factory(graph)
@@ -150,6 +154,7 @@ def build_ospf_network(
                 strategy=strategy_by_name(strategy),
                 recorder=recorder,
                 window_us=window_us,
+                snapshots=snapshots,
             )
 
         del order_fn, strat  # factories build per-node instances
@@ -216,6 +221,7 @@ def run_production(
     settle_us: int = 3 * SECOND,
     tail_us: int = 2 * SECOND,
     window_us: Optional[int] = None,
+    snapshots: str = "cow",
 ) -> ProductionResult:
     """Drive one workload through one production network.
 
@@ -234,6 +240,7 @@ def run_production(
         strategy=strategy,
         daemon_factory=daemon_factory,
         window_us=window_us,
+        snapshots=snapshots,
     )
     if beacons is not None:
         beacons.start()
@@ -345,12 +352,15 @@ def run_ls_replay(
     jitter_us: int = 200,
     daemon_factory: Optional[Callable] = None,
     max_cycles: int = 10_000_000,
+    snapshots: str = "cow",
 ) -> ReplayResult:
     """Replay a partial recording in a lockstep debugging network."""
     wall_start = time.perf_counter()
     net = to_network(graph, seed=seed, jitter_us=jitter_us)
     coordinator = LockstepCoordinator(net, recording, ordering=make_ordering(ordering))
-    coordinator.attach(daemon_factory or ospf_daemon_factory(graph))
+    coordinator.attach(
+        daemon_factory or ospf_daemon_factory(graph), snapshots=snapshots
+    )
     coordinator.start()
     cycles = coordinator.run_all(max_cycles=max_cycles)
     logs = net.delivery_logs()

@@ -19,6 +19,18 @@ The causal-marking contract of Section 3 applies: when a send is caused
 by the message currently being processed, daemons pass it as ``parent``;
 timer- and external-event-triggered sends pass ``parent=None`` and become
 *originations* (new causal chains).
+
+**Store-backed daemons.**  Daemons that keep their mutable protocol
+state in namespaced sub-stores of ``self.store`` (a
+:class:`~repro.core.statestore.StateStore`) set the class flag
+``store_backed = True``.  The write-barrier contract applies: every
+mutation goes through the namespace API (``ns[key] = value`` /
+``del ns[key]``), values are immutable (tuples, ints, strings, frozen
+dataclasses), and iteration is in sorted key order.  In exchange, the
+DEFINED shims checkpoint the daemon by store *version* -- O(dirty keys)
+instead of a full deepcopy per delivered message (the MI scheme's cost,
+for real).  Non-store-backed daemons (``store is None``) keep the
+classic deepcopy ``snapshot()``/``restore()`` path.
 """
 
 from __future__ import annotations
@@ -27,6 +39,7 @@ import abc
 import copy
 from typing import Any, Dict, Optional
 
+from repro.core.statestore import StateStore, estimate_bytes
 from repro.simnet.events import ExternalEvent
 from repro.simnet.messages import Message
 from repro.simnet.node import Stack
@@ -35,9 +48,15 @@ from repro.simnet.node import Stack
 class Daemon(abc.ABC):
     """Base class for routing daemons."""
 
+    #: Subclasses that keep their mutable state in ``self.store``
+    #: namespaces (write-barrier contract) set this to True; the DEFINED
+    #: shims then checkpoint by store version instead of deepcopy.
+    store_backed = False
+
     def __init__(self, node_id: str, stack: Stack) -> None:
         self.node_id = node_id
         self.stack = stack
+        self.store: Optional[StateStore] = StateStore() if self.store_backed else None
 
     # ------------------------------------------------------------------
     # callbacks (driven by the stack)
@@ -65,8 +84,9 @@ class Daemon(abc.ABC):
     def state(self) -> Dict[str, Any]:
         """The complete mutable protocol state, as a dict of fields.
 
-        Subclasses return references to their real containers; ``snapshot``
-        deep-copies them.
+        Non-store-backed subclasses return references to their real
+        containers (``snapshot`` deep-copies them); store-backed
+        subclasses return a materialized plain-dict view.
         """
 
     @abc.abstractmethod
@@ -74,7 +94,12 @@ class Daemon(abc.ABC):
         """Install a state dict previously produced by :meth:`state`."""
 
     def snapshot(self) -> Dict[str, Any]:
-        """A deep, independent copy of the protocol state."""
+        """A deep, independent copy of the protocol state.
+
+        This is the *inspection/roundtrip* API (debugger, tests).  The
+        shims' per-delivery checkpoints of store-backed daemons go
+        through ``self.store`` versions instead and never call this.
+        """
         return copy.deepcopy(self.state())
 
     def restore(self, snap: Dict[str, Any]) -> None:
@@ -84,6 +109,8 @@ class Daemon(abc.ABC):
 
     def state_size_bytes(self) -> int:
         """Rough state footprint used by the memory cost models."""
+        if self.store is not None:
+            return self.store.live_bytes()
         return _estimate_bytes(self.state())
 
     # ------------------------------------------------------------------
@@ -100,20 +127,6 @@ class Daemon(abc.ABC):
         self.stack.send(dst, protocol, payload, parent=parent, size_bytes=size_bytes)
 
 
-def _estimate_bytes(value: Any, depth: int = 0) -> int:
-    """Cheap recursive size estimate (not sys.getsizeof exactness; the cost
-    models only need a stable, monotone proxy)."""
-    if depth > 6:
-        return 8
-    if isinstance(value, dict):
-        return 32 + sum(
-            _estimate_bytes(k, depth + 1) + _estimate_bytes(v, depth + 1)
-            for k, v in value.items()
-        )
-    if isinstance(value, (list, tuple, set, frozenset)):
-        return 24 + sum(_estimate_bytes(v, depth + 1) for v in value)
-    if isinstance(value, str):
-        return 48 + len(value)
-    if isinstance(value, (int, float, bool)) or value is None:
-        return 16
-    return 64
+#: Kept under its old name for existing imports; the implementation
+#: lives with the store's byte accounting now.
+_estimate_bytes = estimate_bytes

@@ -39,6 +39,13 @@ from repro.simnet.node import Stack
 PROTO_UPDATE = "bgp_update"
 
 
+def _canonical(doc: "Dict[str, Any] | Tuple") -> Tuple:
+    """Immutable canonical form of a wire doc for checkpoint-store rows."""
+    if isinstance(doc, tuple):
+        return doc
+    return tuple(sorted(doc.items()))
+
+
 @dataclass(frozen=True)
 class BgpPath:
     """One candidate path for a prefix.
@@ -119,7 +126,16 @@ def pairwise_prefer(challenger: BgpPath, incumbent: BgpPath) -> bool:
 
 
 class BgpDaemon(Daemon):
-    """Path-vector daemon; subclasses choose the decision process."""
+    """Path-vector daemon; subclasses choose the decision process.
+
+    Store-backed: ``adj_rib_in`` (keyed ``(prefix, path_id)``) and
+    ``best`` (keyed ``prefix``) are checkpoint-store namespaces holding
+    wire docs in canonical immutable form (``tuple(sorted(doc.items()))``)
+    -- the write-barrier contract forbids storing the mutable dicts
+    themselves.  Reads materialize dicts at the boundary.
+    """
+
+    store_backed = True
 
     #: Set by subclasses: "correct" or "buggy-xorp-0.4".
     decision_name = "abstract"
@@ -127,25 +143,31 @@ class BgpDaemon(Daemon):
     def __init__(self, node_id: str, stack: Stack, peers: List[str]) -> None:
         super().__init__(node_id, stack)
         self.peers = sorted(peers)
-        self.adj_rib_in: Dict[Tuple[str, str], Dict[str, Any]] = {}
-        self.best: Dict[str, Dict[str, Any]] = {}
+        assert self.store is not None
+        self.adj_rib_in = self.store.namespace("adj_rib_in")
+        self.best = self.store.namespace("best")
 
     # ------------------------------------------------------------------
     # state plumbing
     # ------------------------------------------------------------------
     def state(self) -> Dict[str, Any]:
-        return {"adj_rib_in": self.adj_rib_in, "best": self.best}
+        return {
+            "adj_rib_in": {k: dict(v) for k, v in self.adj_rib_in.items()},
+            "best": {k: dict(v) for k, v in self.best.items()},
+        }
 
     def load_state(self, state: Dict[str, Any]) -> None:
-        self.adj_rib_in = state["adj_rib_in"]
-        self.best = state["best"]
+        self.adj_rib_in.replace(
+            {k: _canonical(v) for k, v in state["adj_rib_in"].items()}
+        )
+        self.best.replace({k: _canonical(v) for k, v in state["best"].items()})
 
     # ------------------------------------------------------------------
     # lifecycle and inputs
     # ------------------------------------------------------------------
     def on_start(self) -> None:
-        self.adj_rib_in = {}
-        self.best = {}
+        self.adj_rib_in.clear()
+        self.best.clear()
 
     def on_external(self, event: ExternalEvent) -> None:
         if event.kind != ANNOUNCE:
@@ -180,15 +202,15 @@ class BgpDaemon(Daemon):
         *not* re-advertised to other iBGP peers (the full mesh already
         delivered them), so learning only updates the local decision.
         """
-        self.adj_rib_in[(path.prefix, path.path_id)] = path.to_wire()
+        self.adj_rib_in[(path.prefix, path.path_id)] = _canonical(path.to_wire())
         new_best = self._decide(path)
         if new_best is not None:
-            self.best[path.prefix] = new_best.to_wire()
+            self.best[path.prefix] = _canonical(new_best.to_wire())
 
     def _paths_for(self, prefix: str) -> List[BgpPath]:
         return sorted(
             (
-                BgpPath.from_wire(doc)
+                BgpPath.from_wire(dict(doc))
                 for (pfx, _pid), doc in self.adj_rib_in.items()
                 if pfx == prefix
             ),
@@ -203,7 +225,7 @@ class BgpDaemon(Daemon):
     # ------------------------------------------------------------------
     def best_path_id(self, prefix: str) -> Optional[str]:
         doc = self.best.get(prefix)
-        return doc["path_id"] if doc else None
+        return dict(doc)["path_id"] if doc else None
 
 
 class CorrectBgp(BgpDaemon):
@@ -226,7 +248,7 @@ class BuggyXorpBgp(BgpDaemon):
         current_doc = self.best.get(incoming.prefix)
         if current_doc is None:
             return incoming
-        current = BgpPath.from_wire(current_doc)
+        current = BgpPath.from_wire(dict(current_doc))
         if incoming.path_id == current.path_id:
             return incoming  # refresh of the incumbent
         return incoming if pairwise_prefer(incoming, current) else current

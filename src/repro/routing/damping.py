@@ -12,12 +12,21 @@ wall-clock behaviour.
 The arithmetic is deliberately integer-only and evaluated lazily (penalty
 decay is computed from elapsed units at observation time, never from a
 background clock), so it is bit-deterministic under replay.
+
+Per-prefix rows live as immutable tuples behind a
+:class:`~repro.core.statestore.Namespace` write barrier: a daemon that
+embeds a dampener passes its :class:`~repro.core.statestore.StateStore`
+and the damping state is checkpointed copy-on-write along with the rest
+of its protocol state.  Standalone dampeners (tests, monitors) keep the
+classic ``snapshot()``/``restore()`` tuple API.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
+
+from repro.core.statestore import Namespace, StateStore
 
 #: RFC 2439-flavoured defaults, expressed in virtual-time units (one unit
 #: = one beacon interval = 250 ms by default, so 60 units = 15 s half
@@ -29,15 +38,22 @@ DEFAULT_HALF_LIFE_UNITS = 16
 #: Penalties are capped so a long flap burst cannot suppress forever.
 DEFAULT_MAX_PENALTY = 12_000
 
+#: Per-prefix row layout inside the namespace (all immutable):
+#: (penalty_milli, last_update_vt, suppressed, flaps).
+DampingRow = Tuple[int, int, bool, int]
 
-@dataclass
+
+@dataclass(frozen=True)
 class DampingState:
-    """Per-prefix damping bookkeeping."""
+    """Read-side view of one prefix's damping bookkeeping."""
 
     penalty_milli: int = 0          # penalty scaled by 1000 for precision
     last_update_vt: int = 0
     suppressed: bool = False
     flaps: int = 0
+
+    def as_row(self) -> DampingRow:
+        return (self.penalty_milli, self.last_update_vt, self.suppressed, self.flaps)
 
 
 @dataclass
@@ -55,68 +71,80 @@ class FlapDampener:
     reuse_threshold: int = DEFAULT_REUSE_THRESHOLD
     half_life_units: int = DEFAULT_HALF_LIFE_UNITS
     max_penalty: int = DEFAULT_MAX_PENALTY
-    _routes: Dict[str, DampingState] = field(default_factory=dict)
+    #: Bind the damping rows into a daemon's checkpoint store; ``None``
+    #: runs on a standalone namespace.
+    store: Optional[StateStore] = None
+    namespace: str = "damping"
+    _routes: Namespace = field(init=False, repr=False, compare=False, default=None)
 
     def __post_init__(self) -> None:
         if self.reuse_threshold >= self.suppress_threshold:
             raise ValueError("reuse threshold must be below suppress threshold")
         if self.half_life_units <= 0:
             raise ValueError("half life must be positive")
+        self._routes = (
+            self.store.namespace(self.namespace)
+            if self.store is not None
+            else Namespace(self.namespace)
+        )
 
     # ------------------------------------------------------------------
     # decay arithmetic (integer, lazy)
     # ------------------------------------------------------------------
-    def _decayed(self, state: DampingState, vt: int) -> int:
-        elapsed = max(0, vt - state.last_update_vt)
+    def _decayed(self, penalty_milli: int, last_update_vt: int, vt: int) -> int:
+        elapsed = max(0, vt - last_update_vt)
         halvings, rest = divmod(elapsed, self.half_life_units)
-        penalty = state.penalty_milli >> min(halvings, 60)
+        penalty = penalty_milli >> min(halvings, 60)
         # linear interpolation within the current half life: lose
         # penalty/2 * rest/half_life
         penalty -= (penalty * rest) // (2 * self.half_life_units)
         return penalty
 
-    def _settle(self, prefix: str, vt: int) -> DampingState:
-        state = self._routes.setdefault(prefix, DampingState(last_update_vt=vt))
-        state.penalty_milli = self._decayed(state, vt)
-        state.last_update_vt = vt
-        if state.suppressed and state.penalty_milli <= self.reuse_threshold * 1000:
-            state.suppressed = False
-        return state
+    def _settle(self, prefix: str, vt: int) -> DampingRow:
+        row = self._routes.get(prefix)
+        if row is None:
+            row = (0, vt, False, 0)
+        penalty, last, suppressed, flaps = row
+        penalty = self._decayed(penalty, last, vt)
+        if suppressed and penalty <= self.reuse_threshold * 1000:
+            suppressed = False
+        settled: DampingRow = (penalty, vt, suppressed, flaps)
+        if settled != row:
+            self._routes[prefix] = settled
+        return settled
 
     # ------------------------------------------------------------------
     # API
     # ------------------------------------------------------------------
     def flap(self, prefix: str, vt: int) -> bool:
         """Record one flap; returns the post-flap suppression state."""
-        state = self._settle(prefix, vt)
-        state.flaps += 1
-        state.penalty_milli = min(
-            state.penalty_milli + self.penalty_per_flap * 1000,
-            self.max_penalty * 1000,
+        penalty, _vt, suppressed, flaps = self._settle(prefix, vt)
+        penalty = min(
+            penalty + self.penalty_per_flap * 1000, self.max_penalty * 1000
         )
-        if state.penalty_milli > self.suppress_threshold * 1000:
-            state.suppressed = True
-        return state.suppressed
+        if penalty > self.suppress_threshold * 1000:
+            suppressed = True
+        self._routes[prefix] = (penalty, vt, suppressed, flaps + 1)
+        return suppressed
 
     def poll(self, prefix: str, vt: int) -> bool:
         """True when the prefix is currently suppressed."""
         if prefix not in self._routes:
             return False
-        return self._settle(prefix, vt).suppressed
+        return self._settle(prefix, vt)[2]
 
     def penalty(self, prefix: str, vt: int) -> int:
         """Current (decayed) penalty, in flap units."""
         if prefix not in self._routes:
             return 0
-        return self._settle(prefix, vt).penalty_milli // 1000
+        return self._settle(prefix, vt)[0] // 1000
 
     def reuse_eta_units(self, prefix: str, vt: int) -> Optional[int]:
         """Units until the prefix becomes reusable (None if not
         suppressed)."""
         if not self.poll(prefix, vt):
             return None
-        state = self._routes[prefix]
-        penalty = state.penalty_milli
+        penalty = self._routes[prefix][0]
         target = self.reuse_threshold * 1000
         units = 0
         while penalty > target and units < 10_000:
@@ -125,22 +153,25 @@ class FlapDampener:
         return units
 
     def flap_counts(self) -> Dict[str, int]:
-        return {p: s.flaps for p, s in sorted(self._routes.items())}
+        return {p: row[3] for p, row in self._routes.items()}
+
+    def state_of(self, prefix: str) -> Optional[DampingState]:
+        row = self._routes.get(prefix)
+        return DampingState(*row) if row is not None else None
 
     def snapshot(self) -> Tuple:
-        """Checkpointable state (the dampener lives inside daemons)."""
-        return tuple(
-            (p, s.penalty_milli, s.last_update_vt, s.suppressed, s.flaps)
-            for p, s in sorted(self._routes.items())
-        )
+        """Checkpointable state (the dampener lives inside daemons).
+
+        Store-bound dampeners are versioned wholesale by their store;
+        this tuple form serves standalone use and inspection.  The
+        namespace's sorted view means nothing is re-sorted here.
+        """
+        return tuple((p, *row) for p, row in self._routes.items())
 
     def restore(self, snap: Tuple) -> None:
-        self._routes = {
-            p: DampingState(
-                penalty_milli=pen, last_update_vt=vt, suppressed=sup, flaps=fl
-            )
-            for p, pen, vt, sup, fl in snap
-        }
+        self._routes.replace(
+            {p: (pen, vt, sup, fl) for p, pen, vt, sup, fl in snap}
+        )
 
 
 class DampedRouteMonitor:

@@ -22,6 +22,12 @@ Implements the parts of OSPF the paper's evaluation exercises:
 Causal marking: LSAs flooded onward pass the incoming LSA as ``parent``;
 LSAs originated by interface events or retransmit timers are new causal
 chains (``parent=None``), exactly the Section 3 contract.
+
+Checkpointing happens on *every* delivery (Section 3), so this daemon is
+**store-backed**: all mutable protocol state lives in namespaces of
+``self.store`` (immutable values, sorted iteration, write-barrier
+mutation), and the shim checkpoints it copy-on-write by store version --
+O(dirty keys) per delivery instead of a deepcopy of the whole LSDB.
 """
 
 from __future__ import annotations
@@ -47,6 +53,8 @@ LsaPayload = Tuple[str, str, int, Tuple[str, ...]]
 class OspfDaemon(Daemon):
     """Link-state routing daemon."""
 
+    store_backed = True
+
     def __init__(
         self,
         node_id: str,
@@ -64,82 +72,80 @@ class OspfDaemon(Daemon):
         self.forward_delay_units = forward_delay_units
         self.refresh_interval_units = refresh_interval_units
 
-        # mutable protocol state (everything here is checkpointed)
-        self.live_interfaces: Dict[str, bool] = {}
-        self.lsdb: Dict[str, Tuple[int, Tuple[str, ...]]] = {}
-        self.my_seq = 0
-        self.pending_acks: Dict[Tuple[str, str, int], bool] = {}
-        self.delayed_floods: Dict[Tuple[str, int], Tuple[LsaPayload, str]] = {}
-        self.distances: Dict[str, int] = {}
-        self.first_hops: Dict[str, Optional[str]] = {}
-        self.hello_count = 0
+        # mutable protocol state: namespaced sub-stores, all checkpointed
+        assert self.store is not None
+        self.live_interfaces = self.store.namespace("live_interfaces")
+        self.lsdb = self.store.namespace("lsdb")
+        self.pending_acks = self.store.namespace("pending_acks")
+        self.delayed_floods = self.store.namespace("delayed_floods")
+        self.distances = self.store.namespace("distances")
+        self.first_hops = self.store.namespace("first_hops")
+        self._meta = self.store.namespace("meta")
+        self._meta["my_seq"] = 0
+        self._meta["hello_count"] = 0
+
+    # ------------------------------------------------------------------
+    # scalar counters (namespace-backed so checkpoints cover them)
+    # ------------------------------------------------------------------
+    @property
+    def my_seq(self) -> int:
+        return self._meta["my_seq"]
+
+    @my_seq.setter
+    def my_seq(self, value: int) -> None:
+        self._meta["my_seq"] = value
+
+    @property
+    def hello_count(self) -> int:
+        return self._meta["hello_count"]
+
+    @hello_count.setter
+    def hello_count(self, value: int) -> None:
+        self._meta["hello_count"] = value
 
     # ------------------------------------------------------------------
     # state plumbing
     # ------------------------------------------------------------------
     def state(self) -> Dict[str, Any]:
         return {
-            "live_interfaces": self.live_interfaces,
-            "lsdb": self.lsdb,
+            "live_interfaces": self.live_interfaces.as_dict(),
+            "lsdb": self.lsdb.as_dict(),
             "my_seq": self.my_seq,
-            "pending_acks": self.pending_acks,
-            "delayed_floods": self.delayed_floods,
-            "distances": self.distances,
-            "first_hops": self.first_hops,
+            "pending_acks": self.pending_acks.as_dict(),
+            "delayed_floods": self.delayed_floods.as_dict(),
+            "distances": self.distances.as_dict(),
+            "first_hops": self.first_hops.as_dict(),
             "hello_count": self.hello_count,
         }
 
     def load_state(self, state: Dict[str, Any]) -> None:
-        self.live_interfaces = state["live_interfaces"]
-        self.lsdb = state["lsdb"]
+        self.live_interfaces.replace(state["live_interfaces"])
+        self.lsdb.replace(state["lsdb"])
         self.my_seq = state["my_seq"]
-        self.pending_acks = state["pending_acks"]
-        self.delayed_floods = state["delayed_floods"]
-        self.distances = state["distances"]
-        self.first_hops = state["first_hops"]
+        self.pending_acks.replace(state["pending_acks"])
+        self.delayed_floods.replace(state["delayed_floods"])
+        self.distances.replace(state["distances"])
+        self.first_hops.replace(state["first_hops"])
         self.hello_count = state["hello_count"]
 
-    # Checkpointing happens on *every* delivery (Section 3), so the
-    # generic deepcopy path is the hot spot of an instrumented run.  All
-    # values inside these dicts are immutable (tuples/ints/strings), so
-    # first-level dict copies are exact and an order of magnitude cheaper.
+    # All values are immutable (tuples/ints/strings), so the materialized
+    # state dict is already an independent snapshot -- no deepcopy needed
+    # on the inspection path either.
     def snapshot(self) -> Dict[str, Any]:
-        return {
-            "live_interfaces": dict(self.live_interfaces),
-            "lsdb": dict(self.lsdb),
-            "my_seq": self.my_seq,
-            "pending_acks": dict(self.pending_acks),
-            "delayed_floods": dict(self.delayed_floods),
-            "distances": dict(self.distances),
-            "first_hops": dict(self.first_hops),
-            "hello_count": self.hello_count,
-        }
+        return self.state()
 
     def restore(self, snap: Dict[str, Any]) -> None:
-        self.load_state(
-            {k: (dict(v) if isinstance(v, dict) else v) for k, v in snap.items()}
-        )
-
-    def state_size_bytes(self) -> int:
-        entries = (
-            len(self.lsdb)
-            + len(self.distances)
-            + len(self.first_hops)
-            + len(self.pending_acks)
-            + len(self.delayed_floods)
-            + len(self.live_interfaces)
-        )
-        return 512 + 96 * entries
+        self.load_state(snap)
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     def on_start(self) -> None:
-        self.live_interfaces = {n: True for n in self.neighbors}
-        self.lsdb = {}
+        self.live_interfaces.replace({n: True for n in self.neighbors})
+        self.lsdb.clear()
         self.my_seq = 0
-        self.pending_acks = {}
-        self.delayed_floods = {}
+        self.pending_acks.clear()
+        self.delayed_floods.clear()
         self.hello_count = 0
         self._originate_lsa(parent=None)
         # Deterministic per-router hello phase: real routers' hello timers
@@ -182,14 +188,17 @@ class OspfDaemon(Daemon):
 
     def _run_spf(self) -> None:
         adjacency: Dict[str, Dict[str, int]] = {}
-        for router, (_seq, links) in self.lsdb.items():
+        lsdb = {router: entry for router, entry in self.lsdb.items()}
+        for router, (_seq, links) in lsdb.items():
             adjacency.setdefault(router, {})
             for other in links:
-                other_entry = self.lsdb.get(other)
+                other_entry = lsdb.get(other)
                 # two-way check: both ends must claim the adjacency
                 if other_entry is not None and router in other_entry[1]:
                     adjacency[router][other] = 1
-        self.distances, self.first_hops = dijkstra(adjacency, self.node_id)
+        distances, first_hops = dijkstra(adjacency, self.node_id)
+        self.distances.replace(distances)
+        self.first_hops.replace(first_hops)
 
     # ------------------------------------------------------------------
     # message handling
@@ -281,7 +290,7 @@ class OspfDaemon(Daemon):
                 # database exchange on adjacency (re)formation: push our
                 # LSDB to the neighbor so a healed partition resynchronizes
                 # (the stand-in for OSPF's DBD/LSR machinery).
-                for router in sorted(self.lsdb):
+                for router in self.lsdb:
                     if router == self.node_id:
                         continue  # our own LSA is re-originated below anyway
                     seq, links = self.lsdb[router]
@@ -294,4 +303,4 @@ class OspfDaemon(Daemon):
     def routing_distances(self) -> Dict[str, int]:
         """Hop distances this router currently believes (the convergence
         harness compares these to ground truth)."""
-        return dict(self.distances)
+        return self.distances.as_dict()

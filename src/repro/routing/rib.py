@@ -4,17 +4,28 @@ Kept deliberately simple -- destination-keyed entries with next hop,
 metric and (for distance-vector protocols) an expiry in virtual time --
 but with strictly deterministic iteration and representation, because
 RIB contents flow into message payloads and delivery-log tags.
+
+The table stores rows as immutable tuples behind a
+:class:`~repro.core.statestore.Namespace` write barrier, so a daemon
+that registers its RIB in a :class:`~repro.core.statestore.StateStore`
+gets copy-on-write checkpoints for free.  :class:`RouteEntry` remains
+the read-side API object: ``lookup`` materializes one per call, and
+updates go through :meth:`install` / :meth:`update` / :meth:`withdraw`
+(never by mutating a looked-up entry in place -- the barrier would not
+see it).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as _replace
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.core.statestore import Namespace, StateStore
 
-@dataclass
+
+@dataclass(frozen=True)
 class RouteEntry:
-    """One installed route."""
+    """One installed route (immutable; update via ``Rib.update``)."""
 
     dest: str
     next_hop: Optional[str]
@@ -25,29 +36,52 @@ class RouteEntry:
     def as_tuple(self) -> Tuple[str, Optional[str], int, str, Optional[int]]:
         return (self.dest, self.next_hop, self.metric, self.source, self.expires_vt)
 
+    def replaced(self, **changes) -> "RouteEntry":
+        """A copy with ``changes`` applied."""
+        return _replace(self, **changes)
+
     def __repr__(self) -> str:
         exp = f" exp@{self.expires_vt}" if self.expires_vt is not None else ""
         return f"{self.dest}->{self.next_hop} metric={self.metric}{exp}"
 
 
 class Rib:
-    """A destination-keyed routing table."""
+    """A destination-keyed routing table.
 
-    def __init__(self) -> None:
-        self._routes: Dict[str, RouteEntry] = {}
+    ``store`` binds the table into a daemon's
+    :class:`~repro.core.statestore.StateStore`; without one the table
+    runs on a standalone namespace (same semantics, no versioning).
+    """
+
+    def __init__(self, store: Optional[StateStore] = None, name: str = "rib") -> None:
+        self._routes = store.namespace(name) if store is not None else Namespace(name)
 
     def install(self, entry: RouteEntry) -> None:
-        self._routes[entry.dest] = entry
+        self._routes[entry.dest] = entry.as_tuple()
+
+    def update(self, dest: str, **changes) -> Optional[RouteEntry]:
+        """Replace fields of an installed route through the write barrier.
+
+        Returns the new entry, or None when ``dest`` is not installed.
+        """
+        entry = self.lookup(dest)
+        if entry is None:
+            return None
+        entry = entry.replaced(**changes)
+        self.install(entry)
+        return entry
 
     def withdraw(self, dest: str) -> Optional[RouteEntry]:
-        return self._routes.pop(dest, None)
+        row = self._routes.pop(dest, None)
+        return RouteEntry(*row) if row is not None else None
 
     def lookup(self, dest: str) -> Optional[RouteEntry]:
-        return self._routes.get(dest)
+        row = self._routes.get(dest)
+        return RouteEntry(*row) if row is not None else None
 
     def next_hop(self, dest: str) -> Optional[str]:
-        entry = self._routes.get(dest)
-        return entry.next_hop if entry is not None else None
+        row = self._routes.get(dest)
+        return row[1] if row is not None else None
 
     def __contains__(self, dest: str) -> bool:
         return dest in self._routes
@@ -56,20 +90,21 @@ class Rib:
         return len(self._routes)
 
     def __iter__(self) -> Iterator[RouteEntry]:
-        for dest in sorted(self._routes):
-            yield self._routes[dest]
+        for _dest, row in self._routes.items():
+            yield RouteEntry(*row)
 
     def destinations(self) -> List[str]:
-        return sorted(self._routes)
+        return list(self._routes.keys())
 
     def as_dict(self) -> Dict[str, Tuple]:
         """Deterministic dump used in snapshots and assertions."""
-        return {dest: self._routes[dest].as_tuple() for dest in sorted(self._routes)}
+        return self._routes.as_dict()
 
     def load_dict(self, data: Dict[str, Tuple]) -> None:
-        self._routes = {
-            dest: RouteEntry(*fields) for dest, fields in data.items()
-        }
+        self._routes.replace({dest: tuple(fields) for dest, fields in data.items()})
+
+    def clear(self) -> None:
+        self._routes.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         rows = ", ".join(repr(e) for e in self)

@@ -39,7 +39,17 @@ INFINITY_METRIC = 16
 
 class RipDaemon(Daemon):
     """Distance-vector daemon; subclasses choose the announcement-matching
-    rule (the locus of the Quagga bug)."""
+    rule (the locus of the Quagga bug).
+
+    Store-backed: the RIB rows live behind the checkpoint store's write
+    barrier (:class:`~repro.routing.rib.Rib` stores immutable tuples),
+    so route updates -- including the timer refreshes at the heart of
+    the bug -- are journalled per checkpoint version.  Looked-up entries
+    are read-side copies; every mutation goes through ``rib.install`` /
+    ``rib.update`` / ``rib.withdraw``.
+    """
+
+    store_backed = True
 
     #: Set by subclasses.
     matching_name = "abstract"
@@ -66,7 +76,7 @@ class RipDaemon(Daemon):
             self.own_destinations = {dest: 0 for dest in own_destinations}
         self.update_interval_units = update_interval_units
         self.timeout_units = timeout_units
-        self.rib = Rib()
+        self.rib = Rib(store=self.store)
 
     # ------------------------------------------------------------------
     # state plumbing
@@ -75,12 +85,11 @@ class RipDaemon(Daemon):
         return {"rib": self.rib.as_dict()}
 
     def load_state(self, state: Dict[str, Any]) -> None:
-        self.rib = Rib()
         self.rib.load_dict(state["rib"])
 
     # as_dict()/load_dict() already produce fresh containers of immutable
     # tuples, so the generic deepcopy wrapper is unnecessary work on the
-    # per-delivery checkpoint path.
+    # inspection path too.
     def snapshot(self) -> Dict[str, Any]:
         return self.state()
 
@@ -91,7 +100,7 @@ class RipDaemon(Daemon):
     # lifecycle
     # ------------------------------------------------------------------
     def on_start(self) -> None:
-        self.rib = Rib()
+        self.rib.clear()
         for dest in sorted(self.own_destinations):
             self.rib.install(
                 RouteEntry(
@@ -146,9 +155,10 @@ class RipDaemon(Daemon):
             self._process_route(dest, min(metric + 1, INFINITY_METRIC), sender)
 
     def _refresh(self, dest: str) -> None:
-        entry = self.rib.lookup(dest)
-        assert entry is not None
-        entry.expires_vt = self.stack.time_units() + self.timeout_units
+        updated = self.rib.update(
+            dest, expires_vt=self.stack.time_units() + self.timeout_units
+        )
+        assert updated is not None
         self.stack.set_timer(self.timeout_units, f"expire|{dest}")
 
     def _install(self, dest: str, metric: int, next_hop: str) -> None:
@@ -193,7 +203,7 @@ class CorrectRip(RipDaemon):
                 self.rib.withdraw(dest)
                 self.stack.cancel_timer(f"expire|{dest}")
                 return
-            entry.metric = metric
+            self.rib.update(dest, metric=metric)
             self._refresh(dest)
             return
         # a different router: only better routes displace the incumbent

@@ -81,16 +81,35 @@ class EventSchedule:
     """A time-ordered collection of external events (a workload trace)."""
 
     events: List[ExternalEvent] = field(default_factory=list)
+    #: Memoized sort: the key builds a repr per event, so re-sorting on
+    #: every ``__iter__``/application walk was a real cost on large
+    #: schedules.  Invalidation is by mutator (``add``/``extend``) plus a
+    #: length check, which also catches direct ``.events`` appends.
+    _sorted_cache: Optional[List[ExternalEvent]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def add(self, event: ExternalEvent) -> None:
         self.events.append(event)
+        self._sorted_cache = None
 
     def extend(self, events: Iterable[ExternalEvent]) -> None:
         self.events.extend(events)
+        self._sorted_cache = None
 
     def sorted(self) -> List[ExternalEvent]:
-        """Events in injection order (time, then kind/target for stability)."""
-        return sorted(self.events, key=lambda e: (e.time_us, e.kind, repr(e.target)))
+        """Events in injection order (time, then kind/target for stability).
+
+        Returns a fresh list over the memoized ordering: callers may
+        slice and index freely without un-invalidatable aliasing.
+        """
+        cache = self._sorted_cache
+        if cache is None or len(cache) != len(self.events):
+            cache = sorted(
+                self.events, key=lambda e: (e.time_us, e.kind, repr(e.target))
+            )
+            self._sorted_cache = cache
+        return list(cache)
 
     def __len__(self) -> int:
         return len(self.events)
@@ -111,7 +130,7 @@ class EventSchedule:
         """A new schedule containing this one's events plus ``others``'."""
         out = EventSchedule(events=list(self.events))
         for other in others:
-            out.events.extend(other.events)
+            out.extend(other.events)
         return out
 
     def shifted(self, offset_us: int) -> "EventSchedule":

@@ -146,9 +146,18 @@ class Unsend:
 
     Sent by a node performing a rollback to every neighbor it had sent
     now-invalidated messages to (Section 2.2, "Performing the rollback").
+
+    ``uids`` must be **canonical** (sorted, duplicate-free): the rollback
+    planners (:func:`repro.core.rollback.collect_unsends`, the lockstep
+    unsend buffers) produce them that way at origination, so the
+    constructor no longer re-canonicalizes on every construction -- this
+    sits on the rollback hot path of flap storms.  Use :meth:`of` for
+    uids of unknown provenance.
     """
 
     uids: Tuple[int, ...] = field(default_factory=tuple)
 
-    def __post_init__(self) -> None:
-        self.uids = tuple(sorted(set(self.uids)))
+    @classmethod
+    def of(cls, uids) -> "Unsend":
+        """Canonicalize arbitrary uids (sorted, deduplicated) once."""
+        return cls(uids=tuple(sorted(set(uids))))

@@ -802,6 +802,11 @@ class SweepCell:
     window_us: Optional[int] = None
     jitter_us: Optional[int] = None
     check_invariant: bool = True
+    #: Checkpoint mechanism override for the DEFINED stacks ("cow" /
+    #: "deepcopy"; None = the harness default).  The differential
+    #: snapshot tests sweep the same grid under both values and demand
+    #: bit-identical fingerprints.
+    snapshots: Optional[str] = None
 
     @property
     def network_seed(self) -> int:
@@ -824,6 +829,8 @@ class CellResult:
     #: envelope grids can group results by their (window, jitter) axes.
     window_us: Optional[int] = None
     jitter_us: Optional[int] = None
+    #: Checkpoint mechanism the cell ran under (None: harness default).
+    snapshots: Optional[str] = None
     fingerprint: str = ""
     replay_fingerprint: Optional[str] = None
     #: Theorem-1 check (``defined`` cells only): replay == production.
@@ -905,6 +912,7 @@ def run_cell(cell: SweepCell) -> CellResult:
         schedule = scenario.schedule(graph, cell.seed)
         _check_mode_supports_schedule(cell.scenario, cell.mode, schedule)
         daemon_factory = scenario.daemon(graph) if scenario.daemon else None
+        snapshots = cell.snapshots if cell.snapshots is not None else "cow"
         result = run_production(
             graph,
             schedule,
@@ -920,6 +928,7 @@ def run_cell(cell: SweepCell) -> CellResult:
             settle_us=scenario.settle_us,
             tail_us=scenario.tail_us,
             window_us=cell.window_us,
+            snapshots=snapshots,
         )
         replay_fp: Optional[str] = None
         invariant: Optional[bool] = None
@@ -933,6 +942,7 @@ def run_cell(cell: SweepCell) -> CellResult:
                     result.recording,
                     ordering=scenario.ordering,
                     daemon_factory=daemon_factory,
+                    snapshots=snapshots,
                 )
                 replay_fp = replay.fingerprint
                 invariant = replay_fp == result.fingerprint
@@ -945,6 +955,7 @@ def run_cell(cell: SweepCell) -> CellResult:
             jitter_seed=cell.jitter_seed,
             window_us=cell.window_us,
             jitter_us=cell.jitter_us,
+            snapshots=cell.snapshots,
             fingerprint=result.fingerprint,
             replay_fingerprint=replay_fp,
             invariant_ok=invariant,
@@ -965,6 +976,7 @@ def run_cell(cell: SweepCell) -> CellResult:
             jitter_seed=cell.jitter_seed,
             window_us=cell.window_us,
             jitter_us=cell.jitter_us,
+            snapshots=cell.snapshots,
             wall_seconds=time.perf_counter() - start,
             error=f"{type(exc).__name__}: {exc}",
         )
@@ -984,6 +996,7 @@ def _merge_streamed(cell: SweepCell, payload: Dict) -> CellResult:
         jitter_seed=cell.jitter_seed,
         window_us=cell.window_us,
         jitter_us=cell.jitter_us,
+        snapshots=cell.snapshots,
         **payload,
     )
 
@@ -1192,6 +1205,7 @@ class SweepReport:
                 "invariant_ok": c.invariant_ok,
                 "expected_ok": c.expected_ok,
                 "late_deliveries": c.late_deliveries,
+                "snapshots": c.snapshots,
                 "fingerprint": c.fingerprint,
                 "replay_fingerprint": c.replay_fingerprint,
                 "headroom": (
@@ -1273,6 +1287,7 @@ class SweepRunner:
         workers: int = 1,
         repeats: int = 1,
         transport: str = "shm",
+        snapshots: Optional[str] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -1280,6 +1295,10 @@ class SweepRunner:
             raise ValueError("repeats must be >= 1")
         if transport not in ("shm", "futures"):
             raise ValueError(f"unknown transport {transport!r}")
+        if snapshots is not None:
+            from repro.core.statestore import SnapshotStrategy
+
+            snapshots = SnapshotStrategy.of(snapshots).value  # fail fast
         # the default grid: every registered scenario except the @N size
         # variants, which opt in by name (an 80-node cell takes minutes;
         # pulling it into every smoke sweep would be a footgun)
@@ -1295,6 +1314,7 @@ class SweepRunner:
         self.workers = workers
         self.repeats = repeats
         self.transport = transport
+        self.snapshots = snapshots
 
     def _worker_context(self):
         """Multiprocessing context for the pool.
@@ -1340,7 +1360,10 @@ class SweepRunner:
                             else seed_split(seed, f"jitter-repeat|{repeat}")
                         )
                         cells.append(
-                            SweepCell(name, seed, mode, repeat, jitter_seed)
+                            SweepCell(
+                                name, seed, mode, repeat, jitter_seed,
+                                snapshots=self.snapshots,
+                            )
                         )
         return cells
 
@@ -1550,6 +1573,7 @@ class SweepRunner:
                     jitter_seed=cell.jitter_seed,
                     window_us=cell.window_us,
                     jitter_us=cell.jitter_us,
+                    snapshots=cell.snapshots,
                     error=error,
                 )
                 if progress is not None:

@@ -66,3 +66,39 @@ class TestEventSchedule:
         assert schedule.horizon_us() == 0
         schedule.add(ExternalEvent(time_us=99, kind=NODE_DOWN, target="a"))
         assert schedule.horizon_us() == 99
+
+
+class TestSortedCache:
+    def test_repeated_sorted_reuses_the_ordering(self):
+        schedule = EventSchedule()
+        schedule.add(ExternalEvent(time_us=20, kind=NODE_DOWN, target="b"))
+        schedule.add(ExternalEvent(time_us=10, kind=NODE_DOWN, target="a"))
+        first = schedule.sorted()
+        assert schedule._sorted_cache is not None
+        assert schedule.sorted() == first
+
+    def test_mutators_invalidate(self):
+        schedule = EventSchedule()
+        schedule.add(ExternalEvent(time_us=20, kind=NODE_DOWN, target="b"))
+        assert [e.time_us for e in schedule.sorted()] == [20]
+        schedule.add(ExternalEvent(time_us=10, kind=NODE_DOWN, target="a"))
+        assert [e.time_us for e in schedule.sorted()] == [10, 20]
+        schedule.extend(
+            [ExternalEvent(time_us=5, kind=NODE_DOWN, target="c")]
+        )
+        assert [e.time_us for e in schedule.sorted()] == [5, 10, 20]
+
+    def test_direct_events_append_is_caught_by_length_guard(self):
+        schedule = EventSchedule()
+        schedule.add(ExternalEvent(time_us=20, kind=NODE_DOWN, target="b"))
+        schedule.sorted()
+        schedule.events.append(ExternalEvent(time_us=10, kind=NODE_DOWN, target="a"))
+        assert [e.time_us for e in schedule.sorted()] == [10, 20]
+
+    def test_sorted_returns_an_unaliased_list(self):
+        schedule = EventSchedule()
+        schedule.add(ExternalEvent(time_us=20, kind=NODE_DOWN, target="b"))
+        schedule.add(ExternalEvent(time_us=10, kind=NODE_DOWN, target="a"))
+        view = schedule.sorted()
+        view.reverse()  # a caller mangling its copy must not poison the cache
+        assert [e.time_us for e in schedule.sorted()] == [10, 20]

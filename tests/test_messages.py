@@ -78,9 +78,17 @@ class TestMessage:
 
 
 class TestUnsend:
-    def test_uids_are_sorted_and_deduplicated(self):
-        u = Unsend(uids=(5, 3, 5, 1))
+    def test_of_sorts_and_deduplicates(self):
+        u = Unsend.of((5, 3, 5, 1))
+        assert u.uids == (1, 3, 5)
+
+    def test_constructor_trusts_canonical_input(self):
+        # canonicalization happens once at origination (the rollback
+        # planners emit sorted, unique uids); the constructor itself is
+        # hot-path cheap and does not re-sort
+        u = Unsend(uids=(1, 3, 5))
         assert u.uids == (1, 3, 5)
 
     def test_empty_allowed(self):
         assert Unsend().uids == ()
+        assert Unsend.of(()).uids == ()

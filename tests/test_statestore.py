@@ -1,0 +1,290 @@
+"""Unit and property tests for the copy-on-write snapshot store."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.statestore import (
+    Namespace,
+    SnapshotStrategy,
+    StateStore,
+)
+
+
+def make_store(strategy="cow"):
+    store = StateStore(strategy)
+    a = store.namespace("a")
+    b = store.namespace("b")
+    return store, a, b
+
+
+class TestNamespace:
+    def test_mapping_basics(self):
+        ns = Namespace("n")
+        ns["k"] = 1
+        assert ns["k"] == 1 and "k" in ns and len(ns) == 1
+        ns["k"] = 2
+        assert ns["k"] == 2 and len(ns) == 1
+        del ns["k"]
+        assert "k" not in ns
+        with pytest.raises(KeyError):
+            del ns["k"]
+        with pytest.raises(KeyError):
+            ns.pop("k")
+        assert ns.pop("k", "dflt") == "dflt"
+
+    def test_iteration_is_sorted(self):
+        ns = Namespace("n")
+        for key in ("z", "a", "m"):
+            ns[key] = key.upper()
+        assert list(ns) == ["a", "m", "z"]
+        assert ns.items() == [("a", "A"), ("m", "M"), ("z", "Z")]
+        assert ns.values() == ["A", "M", "Z"]
+        assert list(ns.as_dict()) == ["a", "m", "z"]
+
+    def test_sorted_view_tracks_deletes_and_reinserts(self):
+        ns = Namespace("n")
+        for key in ("b", "a", "c"):
+            ns[key] = 0
+        del ns["b"]
+        ns["b"] = 1  # re-insert: raw dict order now differs from sorted
+        assert list(ns) == ["a", "b", "c"]
+
+    def test_replace(self):
+        ns = Namespace("n")
+        ns.update({"a": 1, "b": 2})
+        ns.replace({"b": 3, "c": 4})
+        assert ns.as_dict() == {"b": 3, "c": 4}
+
+    def test_equal_rewrite_is_not_journalled(self):
+        store, a, _b = make_store()
+        a["k"] = (1, 2)
+        a["same"] = "x"
+        token = store.snapshot()
+        a["k"] = (1, 2)          # equal value: clean key, no undo entry
+        a["same"] = "x"
+        assert store.private_bytes() == 0
+        a["k"] = (1, 3)          # actually dirty now
+        assert store.private_bytes() > 0
+        store.restore(token)
+        assert a["k"] == (1, 2)
+
+    def test_replace_with_unchanged_table_stays_clean(self):
+        store, a, _b = make_store()
+        table = {f"d{i}": i for i in range(20)}
+        a.replace(table)
+        store.snapshot()
+        a.replace(dict(table))   # the SPF-recompute shape: same output
+        assert store.private_bytes() == 0
+
+    def test_byte_accounting_returns_to_zero(self):
+        ns = Namespace("n")
+        assert ns.byte_size() == 0
+        ns["key"] = ("tuple", 1)
+        ns["other"] = "text"
+        assert ns.byte_size() > 0
+        ns.clear()
+        assert ns.byte_size() == 0
+
+
+class TestSnapshotRestore:
+    @pytest.mark.parametrize("strategy", ["cow", "deepcopy"])
+    def test_roundtrip(self, strategy):
+        store, a, b = make_store(strategy)
+        a["x"] = 1
+        b["y"] = (1, 2)
+        token = store.snapshot()
+        a["x"] = 99
+        del b["y"]
+        b["z"] = 3
+        store.restore(token)
+        assert a["x"] == 1
+        assert b.as_dict() == {"y": (1, 2)}
+
+    @pytest.mark.parametrize("strategy", ["cow", "deepcopy"])
+    def test_restore_twice_from_same_token_is_pristine(self, strategy):
+        store, a, _b = make_store(strategy)
+        a["x"] = "base"
+        token = store.snapshot()
+        a["x"] = "first divergence"
+        store.restore(token)
+        assert a["x"] == "base"
+        a["x"] = "second divergence"
+        a["extra"] = True
+        store.restore(token)
+        assert a.as_dict() == {"x": "base"}
+
+    @pytest.mark.parametrize("strategy", ["cow", "deepcopy"])
+    def test_restore_discards_younger_snapshots(self, strategy):
+        store, a, _b = make_store(strategy)
+        a["x"] = 0
+        t0 = store.snapshot()
+        a["x"] = 1
+        t1 = store.snapshot()
+        a["x"] = 2
+        store.restore(t0)
+        assert a["x"] == 0
+        with pytest.raises(ValueError):
+            store.restore(t1)  # younger than the restore point: gone
+
+    def test_restore_interleaved_versions(self):
+        store, a, _b = make_store()
+        history = []
+        tokens = []
+        for i in range(5):
+            a["k"] = i
+            a[f"only{i}"] = i
+            tokens.append(store.snapshot())
+            history.append(a.as_dict())
+        # roll back to version 2, re-execute, roll back again
+        store.restore(tokens[2])
+        assert a.as_dict() == history[2]
+        a["k"] = 99
+        t_new = store.snapshot()
+        a["k"] = 100
+        store.restore(t_new)
+        assert a["k"] == 99
+        store.restore(tokens[2])
+        assert a.as_dict() == history[2]
+
+    def test_restore_unknown_version_raises(self):
+        store, a, _b = make_store()
+        a["x"] = 1
+        token = store.snapshot()
+        store.reset()
+        with pytest.raises(ValueError):
+            store.restore(token)
+
+    def test_namespace_created_after_snapshot_is_wiped_on_restore(self):
+        store, a, _b = make_store()
+        a["x"] = 1
+        token = store.snapshot()
+        late = store.namespace("late")
+        late["k"] = 1
+        store.restore(token)
+        assert len(late) == 0
+
+    def test_release_before_frees_old_versions(self):
+        store, a, _b = make_store()
+        tokens = []
+        for i in range(4):
+            a["k"] = i
+            tokens.append(store.snapshot())
+        assert store.retained_snapshots() == 4
+        released = store.release_before(tokens[2])
+        assert released == 2
+        assert store.retained_snapshots() == 2
+        with pytest.raises(ValueError):
+            store.restore(tokens[0])
+        store.restore(tokens[2])
+        assert a["k"] == 2
+
+    def test_strategy_switch_requires_reset(self):
+        store, a, _b = make_store()
+        a["x"] = 1
+        store.snapshot()
+        with pytest.raises(RuntimeError):
+            store.strategy = "deepcopy"
+        store.reset()
+        store.strategy = "deepcopy"
+        assert store.strategy is SnapshotStrategy.DEEPCOPY
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            StateStore("zz")
+
+
+class TestMemoryAccounting:
+    def test_live_bytes_track_contents(self):
+        store, a, b = make_store()
+        assert store.live_bytes() == 0
+        a["x"] = ("payload", 123)
+        b["y"] = "text"
+        assert store.live_bytes() == a.byte_size() + b.byte_size() > 0
+
+    def test_cow_private_bytes_grow_with_dirty_keys_only(self):
+        store, a, _b = make_store()
+        for i in range(50):
+            a[f"k{i}"] = i
+        store.snapshot()
+        assert store.private_bytes() == 0  # nothing dirtied yet
+        a["k0"] = 99
+        a["k0"] = 100  # second write of the same key: already journalled
+        after_one_key = store.private_bytes()
+        assert after_one_key > 0
+        a["k1"] = 99
+        assert store.private_bytes() > after_one_key
+        # far smaller than a full copy: that is the whole point
+        assert store.private_bytes() < store.live_bytes() / 2
+
+    def test_deepcopy_private_bytes_charge_full_copies(self):
+        store, a, _b = make_store("deepcopy")
+        for i in range(50):
+            a[f"k{i}"] = i
+        store.snapshot()
+        assert store.private_bytes() >= store.live_bytes()
+        store.snapshot()
+        assert store.private_bytes() >= 2 * store.live_bytes()
+
+    def test_private_bytes_released_with_versions(self):
+        store, a, _b = make_store()
+        a["k"] = 0
+        t0 = store.snapshot()
+        a["k"] = 1
+        t1 = store.snapshot()
+        a["k"] = 2
+        assert store.private_bytes() > 0
+        store.release_before(t1)
+        store.restore(t1)
+        assert store.private_bytes() == 0
+
+
+# ----------------------------------------------------------------------
+# model-based property test: the store must agree with the obvious
+# deepcopy model under arbitrary op sequences
+# ----------------------------------------------------------------------
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("set"), st.sampled_from("abcd"),
+                  st.integers(0, 5), st.integers(0, 100)),
+        st.tuples(st.just("del"), st.sampled_from("abcd"), st.integers(0, 5)),
+        st.tuples(st.just("snap")),
+        st.tuples(st.just("restore"), st.integers(0, 7)),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(ops=_ops, strategy=st.sampled_from(["cow", "deepcopy"]))
+def test_property_store_matches_deepcopy_model(ops, strategy):
+    import copy
+
+    store = StateStore(strategy)
+    namespaces = {name: store.namespace(name) for name in "abcd"}
+    model = {name: {} for name in "abcd"}
+    tokens = []        # (token, model_state) stack mirroring the store's
+    for op in ops:
+        if op[0] == "set":
+            _kind, ns, key, value = op
+            namespaces[ns][key] = value
+            model[ns][key] = value
+        elif op[0] == "del":
+            _kind, ns, key = op
+            namespaces[ns].pop(key, None)
+            model[ns].pop(key, None)
+        elif op[0] == "snap":
+            tokens.append((store.snapshot(), copy.deepcopy(model)))
+        else:
+            if not tokens:
+                continue
+            index = op[1] % len(tokens)
+            token, saved = tokens[index]
+            store.restore(token)
+            del tokens[index + 1:]  # stack discipline
+            model = copy.deepcopy(saved)
+        current = {name: ns.as_dict() for name, ns in namespaces.items()}
+        assert current == model
+        for name, ns in namespaces.items():
+            assert list(ns) == sorted(model[name])
