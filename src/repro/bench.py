@@ -84,6 +84,12 @@ def checkpoint_bench(
             "median_us": round(statistics.median(samples), 3),
             "p90_us": round(sorted(samples)[int(0.9 * len(samples))], 3),
             "state_bytes": shim._store.live_bytes() if shim._store else None,
+            # per-namespace COW journal traffic on the busiest node:
+            # which tables actually pay the write barrier
+            "dirty_keys": (
+                {ns: n for ns, n in shim._store.dirty_key_counts().items() if n}
+                if shim._store else None
+            ),
         }
     out["speedup"] = round(
         out["deepcopy"]["median_us"] / max(out["cow"]["median_us"], 1e-9), 2

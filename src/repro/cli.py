@@ -395,6 +395,12 @@ def cmd_casestudy(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import main as lint_main
+
+    return lint_main(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="DEFINED reproduction command line"
@@ -581,6 +587,15 @@ def build_parser() -> argparse.ArgumentParser:
     debug.add_argument("--recording", required=True)
     debug.add_argument("--seed", type=int, default=1000)
     debug.set_defaults(func=cmd_debug)
+
+    lint = sub.add_parser(
+        "lint",
+        help="determinism & store-contract checker (D-rules / S-rules)",
+    )
+    from repro.lint.cli import add_arguments as add_lint_arguments
+
+    add_lint_arguments(lint)
+    lint.set_defaults(func=cmd_lint)
     return parser
 
 

@@ -493,11 +493,13 @@ class LockstepStack(Stack):
                 raise RuntimeError(f"duplicate output identity {out_id}")
             new_map[out_id] = msg
         result: Dict[OutputId, int] = {}
-        for out_id, uid in self._emitted.items():
+        for out_id, uid in sorted(self._emitted.items()):
             if out_id not in new_map:
                 dst = out_id[5]  # (sender, origin, seq, sub, group, dst, ...)
                 self._unsend_buffer.setdefault(dst, []).append(uid)
-        for out_id, msg in new_map.items():
+        # walk the emission-ordered list, not new_map: uid allocation
+        # order must follow the daemon's deterministic output order
+        for out_id, msg in self._new_outputs:
             if out_id in self._emitted:
                 result[out_id] = self._emitted[out_id]
             else:
@@ -647,7 +649,7 @@ class LockstepCoordinator:
         self._expected = set(payloads)
         self._counts = {}
         self._phase_done = not self._expected
-        for node_id, payload in payloads.items():
+        for node_id, payload in sorted(payloads.items()):
             self.network.sim.schedule(
                 self.delay_to(node_id),
                 self._deliver_ctrl,

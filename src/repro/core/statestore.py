@@ -47,17 +47,331 @@ accounting reads these real counts instead of a modelled fraction.
 :class:`SnapshotStrategy.DEEPCOPY` keeps the old full-deepcopy behaviour
 behind the same API, selectable per run, so every grid can be run
 differentially against the trusted-simple path.
+
+**Sanitizer.**  The write-barrier contract (values are immutable; every
+mutation is a replacement through the namespace API) is what the whole
+snapshot-sharing scheme rests on, and a single in-place mutation of a
+stored value corrupts every snapshot that shares it -- silently, in a
+way the differential grid only catches probabilistically.  Sanitize mode
+(``StateStore(sanitize=True)`` or ``REPRO_SANITIZE=1``) turns violations
+into immediate :class:`StoreContractViolation` errors: reads hand out
+freeze-proxy *views* of any mutable stored value (mutating through the
+view raises at the mutation site), and :meth:`StateStore.snapshot`
+verifies a structural digest of every mutable value against its
+stored-time digest, catching *aliased escapes* -- a caller that kept the
+raw reference it stored and mutated it behind the barrier.  The static
+half of the same contract lives in :mod:`repro.lint`.
 """
 
 from __future__ import annotations
 
 import copy
 import enum
+import os
 from bisect import bisect_left, insort
 from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 #: Sentinel in undo journals: the key was absent at snapshot time.
 _MISSING = object()
+
+
+class StoreContractViolation(RuntimeError):
+    """A stored value was mutated in place behind the write barrier.
+
+    Raised only in sanitize mode: either at the mutation site (the value
+    was reached through a freeze-proxy view) or at the next
+    ``snapshot()`` (the value was mutated through an aliased raw
+    reference the caller kept from before/after storing it).
+    """
+
+
+def _env_sanitize() -> bool:
+    return os.environ.get("REPRO_SANITIZE", "").strip().lower() in (
+        "1", "true", "on", "yes"
+    )
+
+
+#: Value types the sanitizer treats as mutable (proxy-wrapped on read,
+#: digest-tracked for aliased-escape detection at snapshot time).
+_MUTABLE_TYPES = (list, dict, set, bytearray)
+
+
+def _freeze_digest(value: Any) -> Any:
+    """A stable structural digest of ``value`` (hashable, order-free for
+    sets/dicts) used to detect in-place mutation between store and
+    snapshot time."""
+    if isinstance(value, dict):
+        return ("d", tuple(sorted(
+            (repr(k), _freeze_digest(v)) for k, v in value.items()
+        )))
+    if isinstance(value, (list, tuple)):
+        return ("l", tuple(_freeze_digest(v) for v in value))
+    if isinstance(value, (set, frozenset)):
+        return ("s", tuple(sorted(repr(v) for v in value)))
+    if isinstance(value, bytearray):
+        return ("b", bytes(value))
+    return repr(value)
+
+
+class _FrozenViewBase:
+    """Read-only, non-copying view of a mutable stored value.
+
+    Reads delegate to (and re-wrap) the underlying object, so sanitized
+    code sees identical data; any mutator raises
+    :class:`StoreContractViolation` naming the namespace/key it came
+    from.  The underlying object is shared, not copied -- the sanitizer
+    detects contract violations, it does not paper over them.
+    """
+
+    __slots__ = ("_obj", "_where")
+
+    def __init__(self, obj: Any, where: str):
+        object.__setattr__(self, "_obj", obj)
+        object.__setattr__(self, "_where", where)
+
+    def _violate(self, op: str) -> None:
+        raise StoreContractViolation(
+            f"in-place {op} of a value stored in {self._where}: stored "
+            "values are immutable behind the write barrier (snapshots "
+            "share them structurally); store a replacement instead"
+        )
+
+    def __len__(self) -> int:
+        return len(self._obj)
+
+    def __iter__(self) -> Iterator[Any]:
+        where = self._where
+        return (_wrap_sanitized(v, where) for v in iter(self._obj))
+
+    def __contains__(self, item: Any) -> bool:
+        return _unwrap_sanitized(item) in self._obj
+
+    def __eq__(self, other: Any) -> bool:
+        return self._obj == _unwrap_sanitized(other)
+
+    def __ne__(self, other: Any) -> bool:
+        return self._obj != _unwrap_sanitized(other)
+
+    def __lt__(self, other: Any):
+        return self._obj < _unwrap_sanitized(other)
+
+    def __le__(self, other: Any):
+        return self._obj <= _unwrap_sanitized(other)
+
+    def __gt__(self, other: Any):
+        return self._obj > _unwrap_sanitized(other)
+
+    def __ge__(self, other: Any):
+        return self._obj >= _unwrap_sanitized(other)
+
+    def __repr__(self) -> str:
+        return repr(self._obj)
+
+    def __bool__(self) -> bool:
+        return bool(self._obj)
+
+    def __deepcopy__(self, memo: Dict) -> Any:
+        # deepcopy escapes the store entirely -- hand back a plain copy
+        return copy.deepcopy(self._obj, memo)
+
+
+class _FrozenListView(_FrozenViewBase):
+    __slots__ = ()
+    __hash__ = None  # unhashable, like list
+
+    def __getitem__(self, index: Any) -> Any:
+        item = self._obj[index]
+        if isinstance(index, slice):
+            return [_wrap_sanitized(v, self._where) for v in item]
+        return _wrap_sanitized(item, self._where)
+
+    def index(self, *args: Any) -> int:
+        return self._obj.index(*args)
+
+    def count(self, value: Any) -> int:
+        return self._obj.count(value)
+
+    def __add__(self, other: Any) -> list:
+        return list(self._obj) + list(_unwrap_sanitized(other))
+
+    def append(self, *a: Any) -> None:
+        self._violate("append()")
+
+    def extend(self, *a: Any) -> None:
+        self._violate("extend()")
+
+    def insert(self, *a: Any) -> None:
+        self._violate("insert()")
+
+    def remove(self, *a: Any) -> None:
+        self._violate("remove()")
+
+    def pop(self, *a: Any) -> None:
+        self._violate("pop()")
+
+    def clear(self) -> None:
+        self._violate("clear()")
+
+    def sort(self, *a: Any, **k: Any) -> None:
+        self._violate("sort()")
+
+    def reverse(self) -> None:
+        self._violate("reverse()")
+
+    def __setitem__(self, *a: Any) -> None:
+        self._violate("item assignment")
+
+    def __delitem__(self, *a: Any) -> None:
+        self._violate("item deletion")
+
+    def __iadd__(self, other: Any) -> None:
+        self._violate("+=")
+
+    def __imul__(self, other: Any) -> None:
+        self._violate("*=")
+
+
+class _FrozenDictView(_FrozenViewBase):
+    __slots__ = ()
+    __hash__ = None
+
+    def __getitem__(self, key: Any) -> Any:
+        return _wrap_sanitized(self._obj[key], self._where)
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        if key in self._obj:
+            return _wrap_sanitized(self._obj[key], self._where)
+        return default
+
+    def keys(self):
+        return self._obj.keys()
+
+    def values(self):
+        where = self._where
+        # repro-lint: disable=DET105(faithful view: must preserve the wrapped dict's own order)
+        return [_wrap_sanitized(v, where) for v in self._obj.values()]
+
+    def items(self):
+        where = self._where
+        # repro-lint: disable=DET105(faithful view: must preserve the wrapped dict's own order)
+        return [(k, _wrap_sanitized(v, where)) for k, v in self._obj.items()]
+
+    def __setitem__(self, *a: Any) -> None:
+        self._violate("item assignment")
+
+    def __delitem__(self, *a: Any) -> None:
+        self._violate("item deletion")
+
+    def pop(self, *a: Any) -> None:
+        self._violate("pop()")
+
+    def popitem(self) -> None:
+        self._violate("popitem()")
+
+    def clear(self) -> None:
+        self._violate("clear()")
+
+    def update(self, *a: Any, **k: Any) -> None:
+        self._violate("update()")
+
+    def setdefault(self, *a: Any) -> None:
+        self._violate("setdefault()")
+
+    def __ior__(self, other: Any) -> None:
+        self._violate("|=")
+
+
+class _FrozenSetView(_FrozenViewBase):
+    __slots__ = ()
+    __hash__ = None
+
+    def isdisjoint(self, other: Any) -> bool:
+        return self._obj.isdisjoint(_unwrap_sanitized(other))
+
+    def issubset(self, other: Any) -> bool:
+        return self._obj.issubset(_unwrap_sanitized(other))
+
+    def issuperset(self, other: Any) -> bool:
+        return self._obj.issuperset(_unwrap_sanitized(other))
+
+    def union(self, *others: Any) -> set:
+        return self._obj.union(*(_unwrap_sanitized(o) for o in others))
+
+    def intersection(self, *others: Any) -> set:
+        return self._obj.intersection(*(_unwrap_sanitized(o) for o in others))
+
+    def difference(self, *others: Any) -> set:
+        return self._obj.difference(*(_unwrap_sanitized(o) for o in others))
+
+    def add(self, *a: Any) -> None:
+        self._violate("add()")
+
+    def remove(self, *a: Any) -> None:
+        self._violate("remove()")
+
+    def discard(self, *a: Any) -> None:
+        self._violate("discard()")
+
+    def pop(self) -> None:
+        self._violate("pop()")
+
+    def clear(self) -> None:
+        self._violate("clear()")
+
+    def update(self, *a: Any) -> None:
+        self._violate("update()")
+
+    def __ior__(self, other: Any) -> None:
+        self._violate("|=")
+
+    def __iand__(self, other: Any) -> None:
+        self._violate("&=")
+
+    def __isub__(self, other: Any) -> None:
+        self._violate("-=")
+
+    def __ixor__(self, other: Any) -> None:
+        self._violate("^=")
+
+
+class _FrozenByteArrayView(_FrozenViewBase):
+    __slots__ = ()
+    __hash__ = None
+
+    def __getitem__(self, index: Any) -> Any:
+        return self._obj[index]
+
+    def append(self, *a: Any) -> None:
+        self._violate("append()")
+
+    def extend(self, *a: Any) -> None:
+        self._violate("extend()")
+
+    def __setitem__(self, *a: Any) -> None:
+        self._violate("item assignment")
+
+    def __delitem__(self, *a: Any) -> None:
+        self._violate("item deletion")
+
+    def __iadd__(self, other: Any) -> None:
+        self._violate("+=")
+
+
+_VIEW_BY_TYPE = {
+    list: _FrozenListView,
+    dict: _FrozenDictView,
+    set: _FrozenSetView,
+    bytearray: _FrozenByteArrayView,
+}
+
+
+def _wrap_sanitized(value: Any, where: str) -> Any:
+    view = _VIEW_BY_TYPE.get(type(value))
+    return view(value, where) if view is not None else value
+
+
+def _unwrap_sanitized(value: Any) -> Any:
+    return value._obj if isinstance(value, _FrozenViewBase) else value
 
 
 def estimate_bytes(value: Any, depth: int = 0) -> int:
@@ -154,8 +468,9 @@ class Namespace:
     """
 
     __slots__ = (
-        "name", "_store", "_data", "_sorted", "_bytes",
-        "_undo", "_undo_gen", "_listeners",
+        "name", "_store", "_data", "_sorted", "_bytes", "_sizes",
+        "_undo", "_undo_gen", "_listeners", "_dirty_total",
+        "_sanitize", "_digests",
     )
 
     def __init__(self, name: str, store: Optional["StateStore"] = None):
@@ -164,8 +479,21 @@ class Namespace:
         self._data: Dict[Any, Any] = {}
         self._sorted: List[Any] = []
         self._bytes = 0
+        #: Per-key ``(key_size, value_size)`` byte-estimate cache: sizes
+        #: are computed once per write and reused by the journal barrier,
+        #: deletes and overwrites instead of re-estimating (sound because
+        #: values are immutable by contract -- the sanitizer enforces it).
+        self._sizes: Dict[Any, Tuple[int, int]] = {}
         self._undo: Optional[Dict[Any, Any]] = None
         self._undo_gen = -1
+        #: Cumulative count of keys journalled into undo logs (first
+        #: write per key per snapshot interval), i.e. how much COW
+        #: journaling traffic this namespace generates.
+        self._dirty_total = 0
+        self._sanitize = store.sanitize if store is not None else _env_sanitize()
+        #: Sanitize mode: structural digests of mutable stored values,
+        #: verified at snapshot time to catch aliased escapes.
+        self._digests: Dict[Any, Any] = {}
         #: Called (with no args) after the store rewinds this namespace;
         #: components keeping derived indexes (the timer table's due
         #: view) use it to invalidate them.
@@ -174,7 +502,7 @@ class Namespace:
     # ------------------------------------------------------------------
     # write barrier
     # ------------------------------------------------------------------
-    def _journal(self, key: Any, old: Any) -> None:
+    def _journal(self, key: Any, old: Any, cost: int) -> None:
         store = self._store
         if store is None or not store._journaling:
             return
@@ -186,19 +514,28 @@ class Namespace:
         assert undo is not None
         if key not in undo:
             undo[key] = old
-            cost = estimate_bytes(key) + (
-                0 if old is _MISSING else estimate_bytes(old)
-            )
+            self._dirty_total += 1
             store._top.bytes += cost
             store._private_bytes += cost
 
+    def _track_sanitized(self, key: Any, value: Any) -> None:
+        if isinstance(value, _MUTABLE_TYPES):
+            self._digests[key] = _freeze_digest(value)
+        else:
+            self._digests.pop(key, None)
+
     def __setitem__(self, key: Any, value: Any) -> None:
+        if self._sanitize:
+            value = _unwrap_sanitized(value)
+            self._track_sanitized(key, value)
         data = self._data
         old = data.get(key, _MISSING)
         if old is _MISSING:
-            self._journal(key, old)
+            ksize = estimate_bytes(key)
+            self._journal(key, old, ksize)
             insort(self._sorted, key)
-            self._bytes += estimate_bytes(key) + estimate_bytes(value)
+            self._sizes[key] = (ksize, vsize := estimate_bytes(value))
+            self._bytes += ksize + vsize
         else:
             if old is value or old == value:
                 # values are immutable by contract, so an equal rewrite is
@@ -207,8 +544,10 @@ class Namespace:
                 # the OSPF SPF recompute would otherwise re-journal whole
                 # tables per delivery, defeating O(dirty))
                 return
-            self._journal(key, old)
-            self._bytes += estimate_bytes(value) - estimate_bytes(old)
+            ksize, old_vsize = self._sizes[key]
+            self._journal(key, old, ksize + old_vsize)
+            self._sizes[key] = (ksize, vsize := estimate_bytes(value))
+            self._bytes += vsize - old_vsize
         data[key] = value
 
     set = __setitem__
@@ -218,15 +557,21 @@ class Namespace:
         if key not in data:
             raise KeyError(key)
         old = data[key]
-        self._journal(key, old)
+        ksize, vsize = self._sizes.pop(key)
+        self._journal(key, old, ksize + vsize)
         del data[key]
         del self._sorted[bisect_left(self._sorted, key)]
-        self._bytes -= estimate_bytes(key) + estimate_bytes(old)
+        self._bytes -= ksize + vsize
+        if self._sanitize:
+            self._digests.pop(key, None)
 
     def pop(self, key: Any, *default: Any) -> Any:
         if key in self._data:
             value = self._data[key]
             del self[key]
+            if self._sanitize:
+                # the popped value may still be shared with undo journals
+                return _wrap_sanitized(value, self._where(key))
             return value
         if default:
             return default[0]
@@ -250,10 +595,20 @@ class Namespace:
     # ------------------------------------------------------------------
     # reads (no barrier)
     # ------------------------------------------------------------------
+    def _where(self, key: Any) -> str:
+        return f"namespace {self.name!r} key {key!r}"
+
     def __getitem__(self, key: Any) -> Any:
-        return self._data[key]
+        value = self._data[key]
+        if self._sanitize:
+            return _wrap_sanitized(value, self._where(key))
+        return value
 
     def get(self, key: Any, default: Any = None) -> Any:
+        if self._sanitize:
+            if key in self._data:
+                return _wrap_sanitized(self._data[key], self._where(key))
+            return default
         return self._data.get(key, default)
 
     def __contains__(self, key: Any) -> bool:
@@ -273,19 +628,53 @@ class Namespace:
 
     def items(self) -> List[Tuple[Any, Any]]:
         data = self._data
+        if self._sanitize:
+            return [
+                (k, _wrap_sanitized(data[k], self._where(k)))
+                for k in self._sorted
+            ]
         return [(k, data[k]) for k in self._sorted]
 
     def values(self) -> List[Any]:
         data = self._data
+        if self._sanitize:
+            return [_wrap_sanitized(data[k], self._where(k)) for k in self._sorted]
         return [data[k] for k in self._sorted]
 
     def as_dict(self) -> Dict[Any, Any]:
         """Materialize (sorted key order -- deterministic repr)."""
         data = self._data
+        if self._sanitize:
+            return {
+                k: _wrap_sanitized(data[k], self._where(k))
+                for k in self._sorted
+            }
         return {k: data[k] for k in self._sorted}
 
     def byte_size(self) -> int:
         return self._bytes
+
+    def dirty_keys_total(self) -> int:
+        """Cumulative COW journal traffic: keys journalled into undo
+        logs over this namespace's lifetime (first write per key per
+        snapshot interval)."""
+        return self._dirty_total
+
+    def _verify_digests(self) -> None:
+        """Sanitize mode: re-digest every mutable stored value and
+        compare against its stored-time digest -- catches a caller that
+        kept the raw reference it stored and mutated it in place."""
+        data = self._data
+        for key, digest in self._digests.items():
+            if key not in data:
+                continue
+            if _freeze_digest(data[key]) != digest:
+                raise StoreContractViolation(
+                    f"value stored in {self._where(key)} was mutated in "
+                    "place through an aliased reference since it was "
+                    "stored; stored values are immutable behind the "
+                    "write barrier -- store a replacement instead"
+                )
 
     def add_listener(self, fn: Callable[[], None]) -> None:
         self._listeners.append(fn)
@@ -295,32 +684,49 @@ class Namespace:
     # ------------------------------------------------------------------
     def _raw_set(self, key: Any, value: Any) -> None:
         old = self._data.get(key, _MISSING)
+        vsize = estimate_bytes(value)
         if old is _MISSING:
             insort(self._sorted, key)
-            self._bytes += estimate_bytes(key) + estimate_bytes(value)
+            ksize = estimate_bytes(key)
+            self._bytes += ksize + vsize
         else:
-            self._bytes += estimate_bytes(value) - estimate_bytes(old)
+            ksize, old_vsize = self._sizes[key]
+            self._bytes += vsize - old_vsize
+        self._sizes[key] = (ksize, vsize)
         self._data[key] = value
+        if self._sanitize:
+            self._track_sanitized(key, value)
 
     def _raw_delete(self, key: Any) -> None:
         old = self._data.pop(key, _MISSING)
         if old is _MISSING:
             return
+        ksize, vsize = self._sizes.pop(key)
         del self._sorted[bisect_left(self._sorted, key)]
-        self._bytes -= estimate_bytes(key) + estimate_bytes(old)
+        self._bytes -= ksize + vsize
+        if self._sanitize:
+            self._digests.pop(key, None)
 
     def _load(self, data: Dict[Any, Any]) -> None:
         """Wholesale reload (deepcopy restore path): no journaling."""
         self._data = dict(data)
         self._sorted = sorted(self._data)
-        self._bytes = sum(
-            estimate_bytes(k) + estimate_bytes(v) for k, v in self._data.items()
-        )
+        self._sizes = {
+            k: (estimate_bytes(k), estimate_bytes(v))
+            for k, v in self._data.items()
+        }
+        self._bytes = sum(ks + vs for ks, vs in self._sizes.values())
+        if self._sanitize:
+            self._digests = {}
+            for k, v in self._data.items():
+                self._track_sanitized(k, v)
 
     def _wipe(self) -> None:
         self._data = {}
         self._sorted = []
+        self._sizes = {}
         self._bytes = 0
+        self._digests = {}
 
     def _notify(self) -> None:
         for fn in self._listeners:
@@ -333,8 +739,15 @@ class Namespace:
 class StateStore:
     """A node's versioned, structurally-sharing checkpointable state."""
 
-    def __init__(self, strategy: "SnapshotStrategy | str" = SnapshotStrategy.COW):
+    def __init__(
+        self,
+        strategy: "SnapshotStrategy | str" = SnapshotStrategy.COW,
+        sanitize: Optional[bool] = None,
+    ):
         self._strategy = SnapshotStrategy.of(strategy)
+        #: Sanitize mode: default from ``REPRO_SANITIZE`` so whole
+        #: sweeps can opt in without threading a flag everywhere.
+        self._sanitize = _env_sanitize() if sanitize is None else bool(sanitize)
         self._namespaces: Dict[str, Namespace] = {}
         self._version = 0
         self._snapshots: List[_SnapshotRecord] = []
@@ -348,6 +761,10 @@ class StateStore:
     # ------------------------------------------------------------------
     # configuration
     # ------------------------------------------------------------------
+    @property
+    def sanitize(self) -> bool:
+        return self._sanitize
+
     @property
     def strategy(self) -> SnapshotStrategy:
         return self._strategy
@@ -382,6 +799,9 @@ class StateStore:
         COW: O(1) -- seal the open undo journals and open fresh (lazy)
         ones.  DEEPCOPY: a full deep copy, the old per-delivery cost.
         """
+        if self._sanitize:
+            for ns in self._namespaces.values():
+                ns._verify_digests()
         self._version += 1
         if self._strategy is SnapshotStrategy.DEEPCOPY:
             payload = {
@@ -505,6 +925,14 @@ class StateStore:
     def live_bytes(self) -> int:
         """Byte estimate of the live (shared) state."""
         return sum(ns._bytes for ns in self._namespaces.values())
+
+    def dirty_key_counts(self) -> Dict[str, int]:
+        """Per-namespace cumulative COW journal traffic (keys journalled
+        into undo logs), sorted by namespace name."""
+        return {
+            name: self._namespaces[name]._dirty_total
+            for name in sorted(self._namespaces)
+        }
 
     def private_bytes(self) -> int:
         """Byte estimate of the retained private copies: undo-journal

@@ -1,0 +1,96 @@
+"""repro lint: the static half of the determinism contract.
+
+``run_lint(paths)`` walks the given files/directories, runs the D-rules
+(:mod:`repro.lint.drules`) and S-rules (:mod:`repro.lint.srules`) over
+each, applies inline ``# repro-lint: disable=...`` pragmas and the
+committed baseline, and returns a :class:`LintResult`.  The runtime
+half of the same contract is the StateStore sanitizer
+(``REPRO_SANITIZE=1``; see :mod:`repro.core.statestore`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Dict, List, Optional
+
+from repro.lint import suppress as _suppress
+from repro.lint.engine import Finding, check_file, iter_python_files
+
+#: Every rule id with its one-line contract (mirrored in the README's
+#: "Determinism contract" section; the lint tests assert the mirror).
+RULES: Dict[str, str] = {
+    "DET101": "no unseeded RNG: module-level random.* or bare Random()",
+    "DET102": "no wall-clock reads (time.time/datetime.now) in replayed "
+              "logic; perf_counter is allowed for wall-duration reporting",
+    "DET103": "no ambient entropy: uuid1/uuid4, os.urandom, secrets.*",
+    "DET104": "no id() in replay-critical modules (per-run addresses)",
+    "DET105": "no insertion-ordered dict iteration feeding an "
+              "order-sensitive sink in core/, routing/, simnet/",
+    "DET106": "no iterating sets without sorted() (hash order)",
+    "STO201": "no storing mutable literals into StateStore namespaces",
+    "STO202": "no in-place mutation of values read from a namespace",
+    "STO203": "no restoring a snapshot token an earlier restore of an "
+              "older token already discarded (LIFO stack discipline)",
+}
+
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+@dataclasses.dataclass
+class LintResult:
+    active: List[Finding]
+    pragma_suppressed: List[Finding]
+    baselined: List[Finding]
+    stale_baseline: List[Dict[str, object]]
+    checked_files: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.active
+
+    @property
+    def strict_clean(self) -> bool:
+        return not self.active and not self.stale_baseline
+
+
+def run_lint(
+    paths: List[str],
+    root: Optional[str] = None,
+    baseline_path: Optional[str] = None,
+) -> LintResult:
+    root = os.path.abspath(root or os.getcwd())
+    all_active: List[Finding] = []
+    all_pragma: List[Finding] = []
+    checked = 0
+    for path, relpath in iter_python_files(paths, root):
+        checked += 1
+        findings = check_file(path, relpath)
+        if not findings:
+            continue
+        with open(path, "r", encoding="utf-8") as fh:
+            disabled = _suppress.pragma_lines(fh.read().splitlines())
+        active, suppressed = _suppress.apply_pragmas(findings, disabled)
+        all_active.extend(active)
+        all_pragma.extend(suppressed)
+    entries: List[Dict[str, object]] = []
+    if baseline_path:
+        entries = _suppress.load_baseline(baseline_path)
+    active, baselined, stale = _suppress.apply_baseline(all_active, entries)
+    active.sort()
+    return LintResult(
+        active=active,
+        pragma_suppressed=all_pragma,
+        baselined=baselined,
+        stale_baseline=stale,
+        checked_files=checked,
+    )
+
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "RULES",
+    "DEFAULT_BASELINE",
+    "run_lint",
+]

@@ -1,0 +1,309 @@
+"""Determinism rules (DET1xx): entropy and ordering hazards.
+
+The replay theorem (production fingerprint == DEFINED replay
+fingerprint) holds only if every source of randomness is a seeded,
+string-keyed stream and every iteration that feeds payloads, schedules
+or fingerprints is over an explicitly ordered structure.  These rules
+flag the syntactic forms that historically break that:
+
+* DET101 -- unseeded RNG: ``random.random()`` & friends hit the shared
+  module-level generator; ``random.Random()`` with no arguments seeds
+  from the OS.  Use ``random.Random(f"tag|{seed}")`` streams.
+* DET102 -- wall clock: ``time.time()`` / ``datetime.now()`` values
+  differ per run; schedules and payloads must use virtual time.
+  ``perf_counter``/``monotonic`` are allowed (wall-duration reporting).
+* DET103 -- ambient entropy: ``uuid.uuid1/uuid4``, ``os.urandom``,
+  ``secrets.*`` are nondeterministic by design.
+* DET104 -- ``id()`` in critical modules: CPython addresses vary per
+  run; anything keyed or ordered by ``id()`` diverges under replay.
+* DET105 -- unordered dict iteration in critical modules
+  (``core/``, ``routing/``, ``simnet/``): ``.items()/.keys()/.values()``
+  feeding an order-sensitive consumer must go through ``sorted(...)``.
+  StateStore namespaces are exempt (sorted by construction), and
+  order-insensitive aggregations (``sum``/``set``/``len``/...) are not
+  flagged.
+* DET106 -- iterating a set literal / ``set(...)`` without ``sorted``:
+  set order is hash order, which varies with PYTHONHASHSEED.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional
+
+from repro.lint.engine import FileContext, Finding, dotted_name
+
+#: ``random.<fn>`` calls that use the shared module-level generator.
+_RANDOM_MODULE_FNS = frozenset({
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "normalvariate", "expovariate",
+    "betavariate", "getrandbits", "triangular", "vonmisesvariate",
+    "seed",
+})
+
+#: Wall-clock reads (exact dotted suffixes); perf_counter/monotonic are
+#: deliberately absent -- they are fine for wall-duration *reporting*.
+_WALLCLOCK_TIME_FNS = frozenset({"time", "time_ns"})
+_WALLCLOCK_DT_FNS = frozenset({"now", "utcnow", "today"})
+
+#: Ambient-entropy calls.
+_ENTROPY_UUID_FNS = frozenset({"uuid1", "uuid4"})
+
+#: Callables whose result does not depend on argument order: feeding an
+#: unordered iteration into one of these is harmless.
+_ORDER_INSENSITIVE_CONSUMERS = frozenset({
+    "set", "frozenset", "dict", "sum", "len", "any", "all", "max",
+    "min", "sorted", "Counter", "defaultdict",
+})
+
+#: Method calls inside a loop body that make iteration order observable:
+#: appending to an output buffer, scheduling events, allocating uids,
+#: emitting messages or records.
+_ORDER_SINK_METHODS = frozenset({
+    "append", "extend", "insert", "send", "set_timer", "cancel_timer",
+    "schedule", "record", "next_uid", "emit", "push", "write",
+})
+
+#: Dict-view accessors whose iteration order is insertion order.
+_DICT_VIEW_METHODS = frozenset({"items", "keys", "values"})
+
+
+def check(ctx: FileContext) -> Iterator[Finding]:
+    imported = _entropy_imports(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call):
+            yield from _check_call(ctx, node, imported)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            yield from _check_for(ctx, node)
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+            yield from _check_comprehension(ctx, node)
+
+
+# ----------------------------------------------------------------------
+# DET101-104: calls
+# ----------------------------------------------------------------------
+def _entropy_imports(tree: ast.AST) -> Dict[str, str]:
+    """Local name -> rule id for hazards imported bare, so
+    ``from random import random; random()`` is still caught."""
+    by_module = {
+        "random": (dict.fromkeys(_RANDOM_MODULE_FNS | {"Random"}, "DET101")),
+        "time": dict.fromkeys(_WALLCLOCK_TIME_FNS, "DET102"),
+        "uuid": dict.fromkeys(_ENTROPY_UUID_FNS, "DET103"),
+        "os": {"urandom": "DET103"},
+        "secrets": dict.fromkeys(
+            ("token_bytes", "token_hex", "token_urlsafe", "randbelow",
+             "randbits", "choice", "SystemRandom"),
+            "DET103",
+        ),
+    }
+    hazards: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module in by_module:
+            wanted = by_module[node.module]
+            for alias in node.names:
+                if alias.name in wanted:
+                    hazards[alias.asname or alias.name] = wanted[alias.name]
+    return hazards
+
+
+def _check_call(
+    ctx: FileContext, node: ast.Call, imported: Dict[str, str]
+) -> Iterator[Finding]:
+    func = node.func
+    name = dotted_name(func)
+
+    # DET101: module-level random.* and unseeded Random()
+    if name is not None:
+        parts = name.split(".")
+        if parts[0] == "random" and len(parts) == 2:
+            if parts[1] in _RANDOM_MODULE_FNS:
+                yield ctx.finding(
+                    node, "DET101",
+                    f"call to module-level random.{parts[1]}() uses the "
+                    "shared unseeded generator",
+                    hint="use a seeded stream: random.Random(f\"tag|{seed}\")",
+                )
+                return
+        if parts[-1] == "Random" and not node.args and not node.keywords:
+            yield ctx.finding(
+                node, "DET101",
+                "random.Random() with no arguments seeds from the OS",
+                hint="pass a derived seed: random.Random(f\"tag|{seed}\")",
+            )
+            return
+        if name in imported:
+            yield ctx.finding(
+                node, imported[name],
+                f"bare call to {name}() imported from an entropy/clock "
+                "module",
+                hint="route through a seeded stream or virtual time",
+            )
+            return
+
+    # DET102: wall clock
+    if name is not None:
+        parts = name.split(".")
+        if len(parts) >= 2 and parts[0] == "time" and parts[-1] in _WALLCLOCK_TIME_FNS:
+            yield ctx.finding(
+                node, "DET102",
+                f"wall-clock read {name}() differs per run",
+                hint="use virtual time (stack.time_units()/now_us) for "
+                     "anything that feeds payloads or schedules; "
+                     "perf_counter() for wall-duration reporting",
+            )
+            return
+        if parts[-1] in _WALLCLOCK_DT_FNS and any(
+            p in ("datetime", "date") for p in parts[:-1]
+        ):
+            yield ctx.finding(
+                node, "DET102",
+                f"wall-clock read {name}() differs per run",
+                hint="use virtual time for replayed state; pass timestamps "
+                     "in explicitly for reports",
+            )
+            return
+
+    # DET103: ambient entropy
+    if name is not None:
+        parts = name.split(".")
+        if parts[0] == "uuid" and parts[-1] in _ENTROPY_UUID_FNS:
+            yield ctx.finding(
+                node, "DET103",
+                f"{name}() draws ambient entropy",
+                hint="derive ids from the seeded run context (seed_split)",
+            )
+            return
+        if name == "os.urandom" or parts[0] == "secrets":
+            yield ctx.finding(
+                node, "DET103",
+                f"{name}() draws ambient entropy",
+                hint="derive bytes from a seeded random.Random stream",
+            )
+            return
+
+    # DET104: id() in critical modules
+    if (
+        ctx.critical
+        and isinstance(func, ast.Name)
+        and func.id == "id"
+        and node.args
+    ):
+        yield ctx.finding(
+            node, "DET104",
+            "id() yields a per-run CPython address",
+            hint="key on a stable identifier (node_id, uid, sorted key) "
+                 "instead",
+        )
+
+
+# ----------------------------------------------------------------------
+# DET105/DET106: iteration order
+# ----------------------------------------------------------------------
+def _dict_view_call(ctx: FileContext, node: ast.AST) -> Optional[str]:
+    """If ``node`` is ``recv.items()/keys()/values()`` on a non-namespace
+    receiver, return the method name."""
+    if not (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _DICT_VIEW_METHODS
+        and not node.args
+        and not node.keywords
+    ):
+        return None
+    receiver = dotted_name(node.func.value)
+    if receiver is not None and receiver in ctx.ns_receivers:
+        return None  # namespaces iterate in sorted key order
+    return node.func.attr
+
+
+def _set_display(node: ast.AST) -> bool:
+    """Is ``node`` syntactically a set (literal, comprehension, or
+    ``set(...)``/``frozenset(...)`` call)?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+def _body_has_order_sink(body: List[ast.stmt]) -> bool:
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                return True
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _ORDER_SINK_METHODS
+            ):
+                return True
+    return False
+
+
+def _consumed_order_insensitively(ctx: FileContext, node: ast.AST) -> bool:
+    """Is this comprehension's result fed to an order-insensitive
+    consumer (``set(...)``, ``sum(...)``, ``sorted(...)``, ...)?"""
+    parent = ctx.parents.get(node)
+    if isinstance(parent, ast.Call):
+        consumer = dotted_name(parent.func)
+        if consumer is not None:
+            base = consumer.split(".")[-1]
+            if base in _ORDER_INSENSITIVE_CONSUMERS:
+                return True
+    return False
+
+
+def _check_for(
+    ctx: FileContext, node: "ast.For | ast.AsyncFor"
+) -> Iterator[Finding]:
+    # DET106 applies everywhere; DET105 only in critical modules.
+    if _set_display(node.iter):
+        yield ctx.finding(
+            node.iter, "DET106",
+            "iterating a set: order is hash order (varies with "
+            "PYTHONHASHSEED)",
+            hint="wrap in sorted(...)",
+        )
+        return
+    if not ctx.critical:
+        return
+    view = _dict_view_call(ctx, node.iter)
+    if view is None:
+        return
+    if not _body_has_order_sink(node.body):
+        return
+    yield ctx.finding(
+        node.iter, "DET105",
+        f"iterating .{view}() in insertion order feeds an order-"
+        "sensitive sink in a replay-critical module",
+        hint=f"iterate sorted(....{view}()) (or an ordered source list)",
+    )
+
+
+def _check_comprehension(
+    ctx: FileContext, node: "ast.ListComp | ast.GeneratorExp"
+) -> Iterator[Finding]:
+    for gen in node.generators:
+        if _set_display(gen.iter):
+            if not _consumed_order_insensitively(ctx, node):
+                yield ctx.finding(
+                    gen.iter, "DET106",
+                    "comprehension over a set: order is hash order "
+                    "(varies with PYTHONHASHSEED)",
+                    hint="wrap in sorted(...)",
+                )
+            continue
+        if not ctx.critical:
+            continue
+        view = _dict_view_call(ctx, gen.iter)
+        if view is None:
+            continue
+        if _consumed_order_insensitively(ctx, node):
+            continue
+        yield ctx.finding(
+            gen.iter, "DET105",
+            f"comprehension over .{view}() produces insertion-ordered "
+            "output in a replay-critical module",
+            hint=f"iterate sorted(....{view}()) or feed an order-"
+                 "insensitive aggregate (set/sum/dict/...)",
+        )

@@ -1,0 +1,65 @@
+"""Reporters: human-readable text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.lint.engine import Finding
+
+
+def format_text(
+    active: List[Finding],
+    suppressed: int,
+    baselined: int,
+    stale: List[Dict[str, object]],
+    checked_files: int,
+) -> str:
+    out: List[str] = []
+    for f in active:
+        line = f"{f.path}:{f.line}:{f.col}: {f.rule} {f.message}"
+        if f.hint:
+            line += f"  [fix: {f.hint}]"
+        out.append(line)
+    for entry in stale:
+        out.append(
+            f"stale baseline entry: {entry.get('path')}:{entry.get('line')} "
+            f"{entry.get('rule')} no longer matches any finding -- remove it"
+        )
+    summary = (
+        f"{len(active)} finding(s) in {checked_files} file(s)"
+        f" ({suppressed} pragma-suppressed, {baselined} baselined"
+        f", {len(stale)} stale baseline entr{'y' if len(stale) == 1 else 'ies'})"
+    )
+    out.append(summary)
+    return "\n".join(out)
+
+
+def format_json(
+    active: List[Finding],
+    suppressed: int,
+    baselined: int,
+    stale: List[Dict[str, object]],
+    checked_files: int,
+) -> str:
+    return json.dumps(
+        {
+            "findings": [
+                {
+                    "path": f.path,
+                    "line": f.line,
+                    "col": f.col,
+                    "rule": f.rule,
+                    "message": f.message,
+                    "hint": f.hint,
+                }
+                for f in active
+            ],
+            "suppressed": suppressed,
+            "baselined": baselined,
+            "stale_baseline": stale,
+            "checked_files": checked_files,
+        },
+        indent=2,
+        sort_keys=True,
+    )

@@ -1,0 +1,115 @@
+"""Suppression handling: inline pragmas and the committed baseline.
+
+Pragma syntax (trailing on the flagged line, or a standalone comment
+line applying to the next code line)::
+
+    x = d.items()  # repro-lint: disable=DET105(aggregated into a set)
+    # repro-lint: disable=STO201,STO202(fixture exercises the hazard)
+    bad = ns.get("k")
+
+Each rule id may carry a parenthesised reason; reasons are encouraged
+(they survive as in-tree documentation of *why* the hazard is benign)
+but not required.
+
+The baseline (``lint-baseline.json``) is a committed list of
+``{"path", "rule", "line"}`` entries for pre-existing findings, so the
+gate can land without a flag-day fix-up.  Baseline entries that no
+longer match any finding are *stale* and reported (an error under
+``--strict``): a shrinking baseline should shrink the file too.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.lint.engine import Finding
+
+_PRAGMA = re.compile(r"#\s*repro-lint:\s*disable=(?P<rules>[^#]*)")
+_RULE_TOKEN = re.compile(r"([A-Z]{3}\d{3})(?:\(([^)]*)\))?")
+
+
+def pragma_lines(source_lines: Sequence[str]) -> Dict[int, Set[str]]:
+    """Map 1-based line number -> set of rule ids disabled there."""
+    disabled: Dict[int, Set[str]] = {}
+    pending: Set[str] = set()
+    for lineno, line in enumerate(source_lines, start=1):
+        stripped = line.strip()
+        match = _PRAGMA.search(line)
+        rules: Set[str] = set()
+        if match:
+            rules = {m.group(1) for m in _RULE_TOKEN.finditer(match.group("rules"))}
+        if stripped.startswith("#"):
+            # standalone pragma comment: applies to the next code line
+            if rules:
+                pending |= rules
+            continue
+        here = set(rules)
+        if pending and stripped:
+            here |= pending
+            pending = set()
+        if here:
+            disabled[lineno] = here
+    return disabled
+
+
+def apply_pragmas(
+    findings: List[Finding], disabled: Dict[int, Set[str]]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into (active, pragma-suppressed)."""
+    active: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in findings:
+        if finding.rule in disabled.get(finding.line, ()):
+            suppressed.append(finding)
+        else:
+            active.append(finding)
+    return active, suppressed
+
+
+# ----------------------------------------------------------------------
+# baseline
+# ----------------------------------------------------------------------
+def load_baseline(path: str) -> List[Dict[str, object]]:
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except FileNotFoundError:
+        return []
+    if not isinstance(data, list):
+        raise ValueError(f"{path}: baseline must be a JSON list of entries")
+    return data
+
+
+def write_baseline(path: str, findings: List[Finding]) -> None:
+    entries = [
+        {"path": f.path, "rule": f.rule, "line": f.line}
+        for f in sorted(findings)
+    ]
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(entries, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def apply_baseline(
+    findings: List[Finding], entries: List[Dict[str, object]]
+) -> Tuple[List[Finding], List[Finding], List[Dict[str, object]]]:
+    """Split findings into (active, baselined); also return the stale
+    baseline entries that matched nothing."""
+    keys = {(e.get("path"), e.get("rule"), e.get("line")) for e in entries}
+    active: List[Finding] = []
+    baselined: List[Finding] = []
+    matched: Set[Tuple[object, object, object]] = set()
+    for finding in findings:
+        key = finding.key()
+        if key in keys:
+            baselined.append(finding)
+            matched.add(key)
+        else:
+            active.append(finding)
+    stale = [
+        e for e in entries
+        if (e.get("path"), e.get("rule"), e.get("line")) not in matched
+    ]
+    return active, baselined, stale

@@ -98,7 +98,8 @@ def full_selection(paths: List[BgpPath]) -> Optional[BgpPath]:
     for p in survivors:
         by_group.setdefault(p.neighbor_as, []).append(p)
     med_survivors: List[BgpPath] = []
-    for group in by_group.values():
+    for neighbor_as in sorted(by_group):
+        group = by_group[neighbor_as]
         lowest = min(p.med for p in group)
         med_survivors.extend(p for p in group if p.med == lowest)
     best_igp = min(p.igp_dist for p in med_survivors)

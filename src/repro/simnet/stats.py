@@ -81,9 +81,10 @@ class RunStats:
         return self.per_node[node_id]
 
     def packets_per_node(self, include_control: bool = True) -> List[int]:
-        """The Fig 6a metric: one number per node."""
+        """The Fig 6a metric: one number per node (sorted node order)."""
         return [
-            stats.total_packets(include_control) for stats in self.per_node.values()
+            self.per_node[nid].total_packets(include_control)
+            for nid in sorted(self.per_node)
         ]
 
     def total_rollbacks(self) -> int:
@@ -97,12 +98,12 @@ class RunStats:
 
     def all_processing_samples(self) -> List[int]:
         out: List[int] = []
-        for stats in self.per_node.values():
-            out.extend(stats.processing_samples_us)
+        for nid in sorted(self.per_node):
+            out.extend(self.per_node[nid].processing_samples_us)
         return out
 
     def all_rollback_samples(self) -> List[int]:
         out: List[int] = []
-        for stats in self.per_node.values():
-            out.extend(stats.rollback_samples_us)
+        for nid in sorted(self.per_node):
+            out.extend(self.per_node[nid].rollback_samples_us)
         return out

@@ -161,6 +161,13 @@ class Scenario:
             )
         if n < 2:
             raise ValueError("sized() needs at least two nodes")
+        if "+" in self.name:
+            # composed scenario: the sizer re-composes per-component
+            # sized variants, whose result already carries the canonical
+            # "a@N+b@N" name and the matching seed-split streams -- so
+            # "(a+b)@N" is the same scenario as "a@N+b@N", fingerprints
+            # included
+            return self.sizer(n)
         derived = self.sizer(n)
         sized_name = f"{self.name}@{n}"
         base_schedule = derived.schedule
@@ -224,6 +231,27 @@ _JITTER_SUFFIX = re.compile(r"^(?P<base>.+)~j(?P<us>\d+)us$")
 #: ``name@<N>`` -- the size-parameterization suffix (per component).
 _SIZE_SUFFIX = re.compile(r"^(?P<base>.+)@(?P<n>\d+)$")
 
+#: ``(a+b)@<N>`` -- whole-composition sizing; expands to the
+#: per-component form (``a@N+b@N``), which it is identical to.
+_PAREN_SIZE = re.compile(r"^\((?P<base>[^()]+)\)@(?P<n>\d+)$")
+
+
+def _expand_paren_size(spec: str) -> str:
+    """Rewrite ``(a+b)@N`` as ``a@N+b@N``; other specs pass through."""
+    match = _PAREN_SIZE.match(spec)
+    if not match:
+        return spec
+    n = match.group("n")
+    parts = []
+    for part in match.group("base").split("+"):
+        if _SIZE_SUFFIX.match(part):
+            raise ValueError(
+                f"component {part!r} already carries a size; "
+                f"cannot re-size the composition with @{n}"
+            )
+        parts.append(f"{part}@{n}")
+    return "+".join(parts)
+
 #: Cache for dynamically resolved (composed / sized / jittered)
 #: scenarios, kept out of the registry so lookups don't grow
 #: ``scenario_names()``.
@@ -252,9 +280,11 @@ def _resolve_component(part: str) -> Optional[Scenario]:
 def _resolve_dynamic(name: str) -> Optional[Scenario]:
     """Resolve a composed/sized/jittered scenario name against the registry.
 
-    Grammar: ``spec := base ['~j' N 'us']; base := comp ('+' comp)*;
-    comp := name ['@' N]`` -- the size suffix applies per component, the
-    jitter suffix to the whole composition.  Unknown component names make
+    Grammar: ``spec := base ['~j' N 'us']; base := comp ('+' comp)* |
+    '(' comp ('+' comp)* ')@' N; comp := name ['@' N]`` -- a size suffix
+    applies per component, ``(a+b)@N`` sizes the whole composition (and
+    is identical to ``a@N+b@N``), the jitter suffix applies to the whole
+    composition.  Unknown component names make
     the whole resolution fail (returns ``None``).  Resolution only reads
     the registry, so any process that can import the builtin catalogue
     can resolve the same name to the same scenario, regardless of the
@@ -265,6 +295,7 @@ def _resolve_dynamic(name: str) -> Optional[Scenario]:
         return cached
     jitter_match = _JITTER_SUFFIX.match(name)
     base_spec = jitter_match.group("base") if jitter_match else name
+    base_spec = _expand_paren_size(base_spec)
     parts = base_spec.split("+")
     components = []
     for part in parts:
@@ -294,6 +325,7 @@ def canonical_scenario_name(name: str) -> str:
     _ensure_builtins()
     match = _JITTER_SUFFIX.match(name)
     base = match.group("base") if match else name
+    base = _expand_paren_size(base)
     parts = []
     for part in base.split("+"):
         suffix = ""
@@ -331,8 +363,8 @@ def sized_spec(name: str, n: int) -> str:
 
 def get_scenario(name: str) -> Scenario:
     """Look up a registered scenario, or resolve a composed/sized/
-    jittered spec (``a+b``, ``a@40``, ``a~j1us``, ``a@40+b@40~j2us``)
-    from registered components."""
+    jittered spec (``a+b``, ``a@40``, ``(a+b)@40``, ``a~j1us``,
+    ``a@40+b@40~j2us``) from registered components."""
     _ensure_builtins()
     if name in _REGISTRY:
         return _REGISTRY[name]
@@ -442,6 +474,15 @@ def compose(
     def expect(result: ProductionResult) -> bool:
         return all(predicate(result) for predicate in predicates)
 
+    # size-parameterized iff every component is: "(a+b)@N" re-composes
+    # the components' own sized variants, so it resolves to exactly the
+    # same scenario as "a@N+b@N" (same canonical name, same seed-split
+    # schedule streams)
+    sizer: Optional[Callable[[int], Scenario]] = None
+    if all(c.sizer is not None for c in comps):
+        def sizer(n: int) -> Scenario:
+            return compose(*(c.sized(n) for c in comps), offsets_us=offsets)
+
     return Scenario(
         name=composed_name,
         description="composed: " + " + ".join(c.description for c in comps),
@@ -453,6 +494,7 @@ def compose(
         ordering=comps[0].ordering,
         settle_us=min(c.settle_us for c in comps),
         tail_us=max(c.tail_us for c in comps),
+        sizer=sizer,
     )
 
 

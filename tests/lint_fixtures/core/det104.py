@@ -1,0 +1,11 @@
+"""Known-bad fixture: DET104 id() in a replay-critical module (this
+file lives under a ``core/`` path segment, so it is critical)."""
+
+
+def identity_key(obj):
+    return id(obj)  # lint-expect: DET104
+
+
+def stable_key_ok(obj):
+    # negative control: a stable identifier is fine
+    return obj.node_id

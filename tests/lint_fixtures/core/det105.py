@@ -1,0 +1,29 @@
+"""Known-bad fixture: DET105 insertion-ordered dict iteration feeding
+an order-sensitive sink, in a replay-critical (``core/``) module."""
+
+
+def broadcast(payloads, sim):
+    for node_id, payload in payloads.items():  # lint-expect: DET105
+        sim.schedule(node_id, payload)
+
+
+def collect(table):
+    return [key for key, _value in table.items()]  # lint-expect: DET105
+
+
+def aggregate_ok(table):
+    # negative control: order-insensitive consumer
+    return sum(v for v in table.values())
+
+
+def sorted_ok(payloads, sim):
+    # negative control: explicit ordering
+    for node_id, payload in sorted(payloads.items()):
+        sim.schedule(node_id, payload)
+
+
+def namespace_ok(store, out):
+    # negative control: StateStore namespaces iterate in sorted order
+    rib = store.namespace("rib")
+    for dest, entry in rib.items():
+        out.append((dest, entry))

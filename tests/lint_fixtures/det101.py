@@ -1,0 +1,20 @@
+"""Known-bad fixture: DET101 unseeded RNG."""
+
+import random
+
+
+def roll():
+    return random.random()  # lint-expect: DET101
+
+
+def pick(xs):
+    return random.choice(xs)  # lint-expect: DET101
+
+
+def make_rng():
+    return random.Random()  # lint-expect: DET101
+
+
+def seeded_ok(seed):
+    # negative control: a string-keyed seeded stream is the blessed form
+    return random.Random(f"fixture|{seed}").random()

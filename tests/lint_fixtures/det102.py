@@ -1,0 +1,21 @@
+"""Known-bad fixture: DET102 wall-clock reads."""
+
+import time
+from datetime import datetime
+
+
+def stamp():
+    return time.time()  # lint-expect: DET102
+
+
+def stamp_ns():
+    return time.time_ns()  # lint-expect: DET102
+
+
+def today():
+    return datetime.now()  # lint-expect: DET102
+
+
+def duration_ok():
+    # negative control: perf_counter is wall-duration reporting, allowed
+    return time.perf_counter()

@@ -1,0 +1,17 @@
+"""Known-bad fixture: DET103 ambient entropy."""
+
+import os
+import secrets
+import uuid
+
+
+def token():
+    return uuid.uuid4()  # lint-expect: DET103
+
+
+def noise():
+    return os.urandom(8)  # lint-expect: DET103
+
+
+def secret():
+    return secrets.token_hex(4)  # lint-expect: DET103

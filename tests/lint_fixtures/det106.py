@@ -1,0 +1,21 @@
+"""Known-bad fixture: DET106 set iteration without sorted()."""
+
+
+def drain(out):
+    for x in {3, 1, 2}:  # lint-expect: DET106
+        out.append(x)
+    return out
+
+
+def squares(xs):
+    return [x * x for x in set(xs)]  # lint-expect: DET106
+
+
+def total_ok(xs):
+    # negative control: order-insensitive aggregation
+    return sum(x for x in set(xs))
+
+
+def sorted_ok(xs):
+    # negative control: explicit ordering
+    return [x * x for x in sorted(set(xs))]

@@ -1,0 +1,19 @@
+"""Fixture with real hazards, all pragma-suppressed: the linter must
+report nothing here (and the suppressions are counted)."""
+
+import os
+import random
+
+
+def suppressed_trailing():
+    return random.random()  # repro-lint: disable=DET101(fixture: exercising the trailing pragma)
+
+
+def suppressed_standalone():
+    # repro-lint: disable=DET103(fixture: exercising the standalone pragma)
+    return os.urandom(4)
+
+
+def suppressed_multi(xs):
+    # repro-lint: disable=DET101,DET106(fixture: multi-rule pragma)
+    return random.choice([x for x in set(xs)])

@@ -1,0 +1,24 @@
+"""Known-bad fixture: STO201 mutable literal stored into a namespace."""
+
+from repro.core.statestore import StateStore
+
+store = StateStore()
+rib = store.namespace("rib")
+
+
+def bad_set():
+    rib.set("paths", [1, 2, 3])  # lint-expect: STO201
+
+
+def bad_setitem():
+    rib["table"] = {"a": 1}  # lint-expect: STO201
+
+
+def bad_update():
+    rib.update({"k": {"x", "y"}})  # lint-expect: STO201
+
+
+def good_set():
+    # negative control: immutable forms are the contract
+    rib.set("paths", (1, 2, 3))
+    rib["table"] = frozenset({"a"})

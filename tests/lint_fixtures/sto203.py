@@ -1,0 +1,30 @@
+"""Known-bad fixture: STO203 restore of a token an earlier restore of
+an older snapshot already discarded (LIFO stack discipline)."""
+
+from repro.core.statestore import StateStore
+
+store = StateStore()
+
+
+def bad_restore_order():
+    v1 = store.snapshot()
+    v2 = store.snapshot()
+    store.snapshot()
+    store.restore(v1)
+    store.restore(v2)  # lint-expect: STO203
+
+
+def good_lifo():
+    # negative control: newest-first restores are the discipline
+    v1 = store.snapshot()
+    v2 = store.snapshot()
+    store.restore(v2)
+    store.restore(v1)
+
+
+def good_re_restore():
+    # negative control: a restored version stays pristine
+    v1 = store.snapshot()
+    store.snapshot()
+    store.restore(v1)
+    store.restore(v1)
