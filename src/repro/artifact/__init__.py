@@ -1,0 +1,31 @@
+"""Content-addressed run bundles: executions as portable artifacts.
+
+A *run bundle* captures everything semantically observable about one
+execution -- the per-node delivery logs (ordered stable tags carrying
+group numbers and annotation fields), the fingerprint, the measured
+window headroom, and (for production runs) the partial recording that
+makes the bundle replayable -- in one canonically-serialized JSON file
+whose name is its own SHA-256.  Two bundles with the same hash are the
+same execution; two bundles with different hashes can be handed to the
+first-divergence engine (:mod:`repro.diff`) to find out exactly where
+they part ways.
+
+Environment metadata (python version, platform) rides along *outside*
+the hashed section: the whole point of Theorem 1 is that the execution
+is a function of the workload, not of the machine, so the CI parity job
+asserts byte-equal hashes across interpreter versions.
+"""
+
+from repro.artifact.bundle import (
+    BUNDLE_FORMAT,
+    RunBundle,
+    canonical_json,
+    environment_metadata,
+)
+
+__all__ = [
+    "BUNDLE_FORMAT",
+    "RunBundle",
+    "canonical_json",
+    "environment_metadata",
+]

@@ -1,0 +1,183 @@
+"""The :class:`RunBundle` file format.
+
+Layout of a ``.run`` file (JSON, one object)::
+
+    {
+      "format": "defined-run-bundle-v1",
+      "run": { ... },          # the hashed, semantic section
+      "env": { ... },          # informational only, outside the hash
+      "sha256": "<hex>"        # sha256 over canonical_json(run)
+    }
+
+The ``run`` section holds only execution *semantics*: role (production
+or replay), mode, the context that reproduces the cell (scenario, seed,
+jitter, window), the fingerprint, the per-node delivery logs, counters,
+headroom stats, and -- when available -- the embedded partial recording.
+Wall-clock times, hostnames and interpreter details are banned from it:
+they would split hashes between identical executions.
+
+``canonical_json`` is the one serialization the hash is defined over:
+sorted keys, compact separators, ASCII-escaped.  Anything that
+round-trips through it is hash-stable across interpreters.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.recorder import Recording
+
+BUNDLE_FORMAT = "defined-run-bundle-v1"
+
+#: Filename hash prefix length: 12 hex chars (48 bits) is plenty for a
+#: directory of archived divergences and keeps names readable.
+NAME_HASH_CHARS = 12
+
+
+def canonical_json(value: Any) -> str:
+    """The canonical serialization the content address is defined over."""
+    return json.dumps(
+        value, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+
+
+def environment_metadata() -> Dict[str, str]:
+    """Informational environment stamp (never hashed)."""
+    return {
+        "python": platform.python_version(),
+        "implementation": sys.implementation.name,
+        "platform": platform.platform(),
+    }
+
+
+@dataclass
+class RunBundle:
+    """One execution as a content-addressed artifact."""
+
+    run: Dict[str, Any]
+    env: Dict[str, str] = field(default_factory=environment_metadata)
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def from_production(
+        cls,
+        result,
+        context: Optional[Dict[str, Any]] = None,
+        include_recording: bool = True,
+    ) -> "RunBundle":
+        """Bundle a :class:`~repro.harness.ProductionResult`.
+
+        ``context`` is the cell identity that reproduces the run
+        (scenario, seed, jitter_us, window_us, ...); it is hashed, so two
+        runs of different cells never collide even when their logs agree.
+        """
+        run: Dict[str, Any] = {
+            "role": "production",
+            "mode": result.mode,
+            "context": dict(context or {}),
+            "fingerprint": result.fingerprint,
+            "logs": {node: list(log) for node, log in result.logs.items()},
+            "late_deliveries": result.late_deliveries,
+            "rollbacks": result.rollbacks,
+            "headroom": (
+                result.headroom.to_dict() if result.headroom is not None else None
+            ),
+            "recording": (
+                json.loads(result.recording.to_json())
+                if include_recording and result.recording is not None
+                else None
+            ),
+        }
+        return cls(run=run)
+
+    @classmethod
+    def from_replay(
+        cls, result, context: Optional[Dict[str, Any]] = None
+    ) -> "RunBundle":
+        """Bundle a :class:`~repro.harness.ReplayResult`."""
+        run: Dict[str, Any] = {
+            "role": "replay",
+            "mode": "defined-ls",
+            "context": dict(context or {}),
+            "fingerprint": result.fingerprint,
+            "logs": {node: list(log) for node, log in result.logs.items()},
+            "late_deliveries": 0,
+            "rollbacks": 0,
+            "headroom": None,
+            "recording": None,
+        }
+        return cls(run=run)
+
+    # -- identity -------------------------------------------------------
+    @property
+    def sha256(self) -> str:
+        """The content address: sha256 over the canonical ``run`` section."""
+        return hashlib.sha256(canonical_json(self.run).encode("ascii")).hexdigest()
+
+    @property
+    def fingerprint(self) -> str:
+        return self.run.get("fingerprint", "")
+
+    @property
+    def role(self) -> str:
+        return self.run.get("role", "unknown")
+
+    def logs(self) -> Dict[str, Tuple[str, ...]]:
+        return {
+            node: tuple(entries) for node, entries in self.run["logs"].items()
+        }
+
+    def recording(self) -> Optional[Recording]:
+        """The embedded partial recording (production bundles only)."""
+        doc = self.run.get("recording")
+        if doc is None:
+            return None
+        return Recording.from_json(json.dumps(doc))
+
+    def default_name(self) -> str:
+        """Content-addressed filename: ``<role>-<sha12>.run``."""
+        return f"{self.role}-{self.sha256[:NAME_HASH_CHARS]}.run"
+
+    # -- (de)serialization ----------------------------------------------
+    def to_json(self) -> str:
+        doc = {
+            "format": BUNDLE_FORMAT,
+            "run": self.run,
+            "env": self.env,
+            "sha256": self.sha256,
+        }
+        return json.dumps(doc, indent=1, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunBundle":
+        doc = json.loads(text)
+        if doc.get("format") != BUNDLE_FORMAT:
+            raise ValueError("not a DEFINED run bundle")
+        bundle = cls(run=doc["run"], env=doc.get("env", {}))
+        stored = doc.get("sha256")
+        if stored is not None and stored != bundle.sha256:
+            raise ValueError(
+                f"run bundle corrupt: stored sha256 {stored[:12]}... does "
+                f"not match content {bundle.sha256[:12]}..."
+            )
+        return bundle
+
+    def save(self, path: str) -> str:
+        """Write the bundle; a directory path gets the content-addressed
+        default name.  Returns the file path written."""
+        if os.path.isdir(path):
+            path = os.path.join(path, self.default_name())
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "RunBundle":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())

@@ -63,6 +63,17 @@ class DdosStack(Stack):
         self.late_deliveries = 0
         self._started = False
         self._prestart: List[Message] = []
+        self._booted_once = False
+        #: Set by the harness to ``lambda: beacons.group`` so a rebooting
+        #: stack can rejoin at the network's *current* group instead of
+        #: virtual time 0 (mirrors the DEFINED shim's rejoin protocol).
+        self.group_provider = None
+        #: Smallest group whose traffic this incarnation can observe, and
+        #: the sim time it booted: groups that closed before boot are
+        #: releasable immediately (their messages were dropped while the
+        #: node was down and can never arrive).
+        self._min_group = 0
+        self._boot_at_us = 0
 
     def hold_us(self) -> int:
         """Slack after a group's closing beacon before its messages are
@@ -139,11 +150,26 @@ class DdosStack(Stack):
     # node-facing API
     # ------------------------------------------------------------------
     def start(self) -> None:
+        reboot = self._booted_once
+        self._booted_once = True
         self.vt = 0
         self._timers = {}
         self._pending = []
         self._last_key = None
         self._beacon_at = {0: 0}
+        self._min_group = 0
+        self._boot_at_us = 0
+        if reboot:
+            # Rejoin at the current group (beacon-service time is shared
+            # deterministic state), not at virtual time 0: a time-0 reboot
+            # would re-arm startup timers for long-closed groups and tag
+            # originations with keys sorting below everything already
+            # released network-wide.
+            if self.group_provider is not None:
+                self.vt = self.group_provider()
+            self._min_group = self.vt
+            self._boot_at_us = self.sim.now
+            self._beacon_at = {self.vt: self.sim.now}
         if self.daemon is not None:
             self.daemon.on_start()
         self._started = True
@@ -225,8 +251,11 @@ class DdosStack(Stack):
         closing beacon has not even arrived yet.
         """
         close_group = entry.group if entry.kind == "msg" else entry.group - 1
-        if close_group < 0:
-            return 0
+        if close_group < self._min_group:
+            # The group closed before this incarnation booted; anything
+            # tagged with it that could still reach us already has (the
+            # network dropped traffic to the node while it was down).
+            return self._boot_at_us
         opened = self._beacon_at.get(close_group + 1)
         if opened is None:
             return None

@@ -97,6 +97,17 @@ def cmd_production(args: argparse.Namespace) -> int:
             raise SystemExit("only --mode defined produces a recording")
         result.recording.save(args.recording_out)
         print(f"\nrecording written to {args.recording_out}")
+    if args.bundle_out:
+        from repro.artifact import RunBundle
+
+        bundle = RunBundle.from_production(result, context={
+            "topology": args.topology, "size": args.size,
+            "topology_seed": args.topology_seed, "events": args.events,
+            "gap_s": args.gap_s, "mode": args.mode, "seed": args.seed,
+            "ordering": args.ordering,
+        })
+        path = bundle.save(args.bundle_out)
+        print(f"\nrun bundle written to {path} (sha256 {bundle.sha256[:12]})")
     return 0
 
 
@@ -119,7 +130,42 @@ def cmd_replay(args: argparse.Namespace) -> int:
             ["wall time (s)", result.wall_seconds],
         ],
     ))
+    if args.bundle_out:
+        from repro.artifact import RunBundle
+
+        bundle = RunBundle.from_replay(result, context={
+            "topology": args.topology, "size": args.size,
+            "topology_seed": args.topology_seed, "seed": args.seed,
+            "recording": args.recording,
+        })
+        path = bundle.save(args.bundle_out)
+        print(f"\nrun bundle written to {path} (sha256 {bundle.sha256[:12]})")
     return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    from repro.artifact import RunBundle
+    from repro.diff import diff_bundles, render_divergence
+
+    a = RunBundle.load(args.a)
+    b = RunBundle.load(args.b)
+    for label, path, bundle in (("A", args.a, a), ("B", args.b, b)):
+        print(f"{label}: {path}  role={bundle.role}  "
+              f"sha256={bundle.sha256[:12]}  "
+              f"fingerprint={bundle.fingerprint[:24]}...")
+    print()
+    divergence = diff_bundles(a, b)
+    print(render_divergence(divergence, a_label="A", b_label="B"))
+    if args.json_out:
+        import json
+
+        with open(args.json_out, "w") as fh:
+            json.dump(
+                divergence.to_dict() if divergence is not None else None,
+                fh, indent=2,
+            )
+        print(f"\ndivergence written to {args.json_out}")
+    return 0 if divergence is None else 1
 
 
 def _parse_int_list(text: str, flag: str) -> List[int]:
@@ -193,6 +239,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             repeats=args.repeats,
             transport=args.transport,
             snapshots=args.snapshots,
+            artifact_dir=args.artifact_out,
         )
     except (KeyError, ValueError) as exc:
         raise SystemExit(exc.args[0] if exc.args else str(exc))
@@ -281,6 +328,7 @@ def cmd_envelope(args: argparse.Namespace) -> int:
             boundary_jitter_us=args.boundary_jitter_us,
             target_quantile=args.target_quantile,
             margin=args.margin,
+            artifact_dir=args.artifact_out,
         )
     except (KeyError, ValueError) as exc:
         raise SystemExit(exc.args[0] if exc.args else str(exc))
@@ -427,6 +475,10 @@ def build_parser() -> argparse.ArgumentParser:
                            "fallback (differential testing)")
     prod.add_argument("--seed", type=int, default=1)
     prod.add_argument("--recording-out", default=None)
+    prod.add_argument("--bundle-out", default=None, metavar="PATH",
+                      help="write the execution as a content-addressed "
+                           "run bundle (a directory gets the default "
+                           "<role>-<sha12>.run name)")
     prod.set_defaults(func=cmd_production)
 
     replay = sub.add_parser("replay", help="replay a recording in lockstep")
@@ -436,7 +488,21 @@ def build_parser() -> argparse.ArgumentParser:
                         help="must match the production run's topology")
     replay.add_argument("--recording", required=True)
     replay.add_argument("--seed", type=int, default=1000)
+    replay.add_argument("--bundle-out", default=None, metavar="PATH",
+                        help="write the replayed execution as a "
+                             "content-addressed run bundle")
     replay.set_defaults(func=cmd_replay)
+
+    diff = sub.add_parser(
+        "diff",
+        help="first-divergence diff of two run bundles (exit 1 when the "
+             "executions diverge)",
+    )
+    diff.add_argument("a", metavar="A.run")
+    diff.add_argument("b", metavar="B.run")
+    diff.add_argument("--json-out", default=None, metavar="PATH",
+                      help="write the divergence verdict as JSON")
+    diff.set_defaults(func=cmd_diff)
 
     sweep = sub.add_parser(
         "sweep",
@@ -479,6 +545,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "stacks (default: harness default, cow)")
     sweep.add_argument("--report-out", default=None, metavar="PATH",
                        help="write the JSON divergence report here")
+    sweep.add_argument("--artifact-out", default=None, metavar="DIR",
+                       help="archive every Theorem-1 divergence as a pair "
+                            "of replayable run bundles in this directory "
+                            "(production side embeds the recording)")
     sweep.add_argument("--list", action="store_true",
                        help="list registered scenarios and exit")
     sweep.add_argument("--verbose", action="store_true",
@@ -547,6 +617,9 @@ def build_parser() -> argparse.ArgumentParser:
     env.add_argument("--workers", type=int, default=1)
     env.add_argument("--report-out", default=None, metavar="PATH",
                      help="write the JSON envelope report here")
+    env.add_argument("--artifact-out", default=None, metavar="DIR",
+                     help="archive verification-pass Theorem-1 "
+                          "divergences as replayable run bundles here")
     env.add_argument("--verbose", action="store_true",
                      help="print each cell as it completes")
     env.set_defaults(func=cmd_envelope)

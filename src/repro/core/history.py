@@ -235,11 +235,20 @@ class DeliveredHistory:
         del self._keys[index:]
         return rolled
 
-    def prune_before_time(self, cutoff_us: int, keep_min: int = 1) -> int:
+    def prune_before_time(
+        self,
+        cutoff_us: int,
+        keep_min: int = 1,
+        collect: Optional[List[HistoryEntry]] = None,
+    ) -> int:
         """Drop leading entries delivered before ``cutoff_us``.
 
         At least ``keep_min`` entries are retained so a freshly-quiet node
-        still has a rollback anchor.  Returns the number pruned.
+        still has a rollback anchor.  Returns the number pruned; when
+        ``collect`` is given, the pruned entries are appended to it (the
+        shim keeps a uid -> log-index map of pruned message deliveries so
+        an unsend that outruns the window can still retract its target
+        from the execution log).
         """
         limit = len(self.entries) - keep_min
         n = 0
@@ -248,6 +257,8 @@ class DeliveredHistory:
         if n > 0:
             self.last_pruned_key = self._keys[n - 1]
             self.last_pruned_at_us = self.entries[n - 1].delivered_at_us
+            if collect is not None:
+                collect.extend(self.entries[:n])
             del self.entries[:n]
             del self._keys[:n]
             self.total_pruned += n

@@ -97,6 +97,10 @@ class LockstepStack(Stack):
         #: network's own link characteristics are irrelevant to them.
         self.hop_cost_us = recording.hop_cost_us
         self._delay_estimates = recording.delay_estimates
+        #: Chain-delay spill bound: the *production* beacon interval, from
+        #: the recording (the debugging network's own interval is
+        #: irrelevant -- annotations must match production bit for bit).
+        self.spill_bound_us = recording.spill_bound_us
         self.transport = ReliableTransport(
             node.node_id, node.network, self._on_logical, rto_us=rto_us
         )
@@ -174,6 +178,7 @@ class LockstepStack(Stack):
                 sub=self._sub_seq,
                 over_chain_bound=pa.chain + 1 > self.chain_bound,
                 sender=self.node.node_id,
+                spill_bound_us=self.spill_bound_us,
             )
         else:
             self._origin_seq += 1

@@ -84,6 +84,14 @@ class Recording:
     #: networks (Section 2.2 fixes them at launch); the debugging
     #: network's own links may have entirely different characteristics.
     delay_estimates: Dict[str, int] = field(default_factory=dict)
+    #: The production beacon interval, used as the chain-delay spill
+    #: bound: annotations whose accumulated d_i crosses it spill into the
+    #: next group phase (see :meth:`Annotation.extended`).  The replay
+    #: must use the production value, not its own network's, or its
+    #: recomputed annotations (hence ordering keys and drop identities)
+    #: would differ.  ``None`` disables spilling (recordings made before
+    #: the bound existed replay with the estimates they were made with).
+    spill_bound_us: Optional[int] = None
 
     def by_group(self) -> Dict[int, List[RecordedEvent]]:
         """Events bucketed by group, each bucket in (node, seq) order."""
@@ -106,6 +114,7 @@ class Recording:
             "format": "defined-recording-v1",
             "horizon_group": self.horizon_group,
             "hop_cost_us": self.hop_cost_us,
+            "spill_bound_us": self.spill_bound_us,
             "delay_estimates": dict(sorted(self.delay_estimates.items())),
             "events": [
                 {
@@ -149,6 +158,7 @@ class Recording:
             horizon_group=doc["horizon_group"],
             hop_cost_us=doc.get("hop_cost_us", 140),
             delay_estimates=doc.get("delay_estimates", {}),
+            spill_bound_us=doc.get("spill_bound_us"),
         )
 
     def save(self, path: str) -> None:
@@ -204,6 +214,9 @@ class Recorder:
         #: Set by the harness to the production network's measured
         #: average link delays ("src>dst" -> microseconds).
         self.delay_estimates: Dict[str, int] = {}
+        #: Set by the harness to the production beacon interval (the
+        #: shims' chain-delay spill bound; must reach the replay).
+        self.spill_bound_us: Optional[int] = None
         #: Group provider for topology events (typically ``lambda:
         #: beacon_service.group``); set by the harness.
         self.group_provider = None
@@ -230,8 +243,26 @@ class Recorder:
             )
         )
 
+    def record_send(self, identity: SendIdentity, deliverable: bool) -> None:
+        """Record the outcome of one deterministic send: last outcome wins.
+
+        The drop set must reflect the *final* execution, not the union of
+        every speculative one: under rollbacks that straddle a link flap,
+        the same send identity is re-emitted across re-executions under
+        different physical link states.  A sticky "ever dropped" set then
+        makes the lockstep replay suppress messages the final production
+        execution delivered (or vice versa) -- the replay diverges with
+        zero slack deficits.  Recording the latest outcome matches the
+        final execution, because the final (never rolled back) emission of
+        an identity is by definition the last one recorded.
+        """
+        if deliverable:
+            self._drops.discard(identity)
+        else:
+            self._drops.add(identity)
+
     def record_drop(self, identity: SendIdentity) -> None:
-        self._drops.add(identity)
+        self.record_send(identity, deliverable=False)
 
     def record_topology(self, event: ExternalEvent, group: Optional[int] = None) -> None:
         """Log a network-level topology fact (link/node up/down).
@@ -285,6 +316,7 @@ class Recorder:
             horizon_group=self._horizon_group,
             hop_cost_us=self.hop_cost_us,
             delay_estimates=dict(self.delay_estimates),
+            spill_bound_us=self.spill_bound_us,
         )
 
     @property

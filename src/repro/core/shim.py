@@ -28,6 +28,7 @@ the lockstep replay, which runs over reliable transport, suppresses them.
 
 from __future__ import annotations
 
+import bisect
 import random
 import warnings
 from collections import deque
@@ -148,6 +149,17 @@ class DefinedShim(Stack):
         if hop_cost_us is None:
             hop_cost_us = int(80 + self.strategy.delivery_mu)
         self.hop_cost_us = hop_cost_us
+        #: Chain-delay spill bound: one beacon interval.  An annotation
+        #: whose accumulated d_i crosses it is deterministically assigned
+        #: to the next group phase (see :meth:`Annotation.extended`), so
+        #: the estimate stays honest -- a message is always tagged with
+        #: the group phase it is *predicted to arrive in*.  Without the
+        #: bound, long floods under super-beacon jitter carry estimates a
+        #: whole phase stale, and their keys sort below a full group of
+        #: delivered traffic at every receiver: rollback cascades then
+        #: reach deeper than the history window and the replay diverges
+        #: with zero slack deficits (the PR-4 Theorem-1 hole).
+        self.spill_bound_us = node.network.time_unit_us
 
         self.vt = 0
         self.history = DeliveredHistory()
@@ -207,6 +219,20 @@ class DefinedShim(Stack):
         #: event -- a misconfigured run must not pay O(late_deliveries)
         #: warning traffic on its delivery hot path.
         self._reported_deficit_us: Optional[int] = None
+        #: uid -> delivery-log index of message entries pruned from the
+        #: history window.  An unsend normally retracts its targets via
+        #: the live history; one that arrives *after* its target was
+        #: pruned (a rollback cascade outran the window) would otherwise
+        #: leave the tag in the execution log forever -- a permanent
+        #: fingerprint orphan that no counter records.  The map lets the
+        #: retraction still happen, and the event is counted as a window
+        #: deficit (the state rollback itself is unrecoverable: the
+        #: checkpoint was released with the entry).
+        self._pruned_uid_log: dict = {}
+        #: Unsends whose target had already been pruned from the window
+        #: (counted into ``late_deliveries``/deficits too: they are the
+        #: same misconfiguration signal, seen from the retraction side).
+        self.pruned_retractions = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -248,6 +274,7 @@ class DefinedShim(Stack):
         self._send_delay_us = 0
         self._replaying = False
         self._beacon_seen_at = {}
+        self._pruned_uid_log = {}
         if reboot:
             if self.recorder is not None and self.recorder.group_provider is not None:
                 self.vt = self.recorder.group_provider()
@@ -358,6 +385,7 @@ class DefinedShim(Stack):
                 sub=self._sub_seq,
                 over_chain_bound=pa.chain + 1 > self.chain_bound,
                 sender=self.node.node_id,
+                spill_bound_us=self.spill_bound_us,
             )
         else:
             self._origin_seq += 1
@@ -386,10 +414,15 @@ class DefinedShim(Stack):
         )
 
         deliverable = link.up and self.node.up and network.nodes[dst].up
-        if not deliverable and self.recorder is not None:
-            self.recorder.record_drop(
+        if self.recorder is not None:
+            # every send's outcome is recorded, not just drops: the same
+            # identity re-emitted by a rollback re-execution can flip
+            # between deliverable and not when the rollback straddles a
+            # link flap, and the replay must honor the *final* outcome
+            self.recorder.record_send(
                 (annotation.sender, annotation.origin, annotation.seq,
-                 annotation.sub, annotation.group, dst, protocol)
+                 annotation.sub, annotation.group, dst, protocol),
+                deliverable,
             )
         network.transmit(msg, extra_delay_us=self._send_delay_us)
         if deliverable and self._current_entry is not None:
@@ -593,21 +626,7 @@ class DefinedShim(Stack):
                 # pruned predecessor's delivery; anything older is a
                 # lower bound (the true predecessor may be older still)
                 deficit = max(0, (self.sim.now - pruned_at) - self.window_us())
-            self.deficit_samples_us.append(deficit if deficit is not None else 0)
-            escalated = self._reported_deficit_us is None or (
-                deficit is not None and deficit > self._reported_deficit_us
-            )
-            if escalated:
-                self._reported_deficit_us = deficit or 0
-                warnings.warn(
-                    HistoryWindowWarning(
-                        node_id=self.node.node_id,
-                        window_us=self.window_us(),
-                        deficit_us=deficit,
-                        late_count=self.late_deliveries,
-                    ),
-                    stacklevel=2,
-                )
+            self._record_window_deficit(deficit)
             self._deliver_unordered(entry)
             return
         index = self.history.insertion_index(entry.key)
@@ -616,6 +635,24 @@ class DefinedShim(Stack):
         else:
             new_inputs = [entry] if entry.kind != "timer" else []
             self._rollback(index, new_inputs, removed_uids=set())
+
+    def _record_window_deficit(self, deficit: Optional[int]) -> None:
+        """Count one window miss and surface first/escalating deficits."""
+        self.deficit_samples_us.append(deficit if deficit is not None else 0)
+        escalated = self._reported_deficit_us is None or (
+            deficit is not None and deficit > self._reported_deficit_us
+        )
+        if escalated:
+            self._reported_deficit_us = deficit or 0
+            warnings.warn(
+                HistoryWindowWarning(
+                    node_id=self.node.node_id,
+                    window_us=self.window_us(),
+                    deficit_us=deficit,
+                    late_count=self.late_deliveries,
+                ),
+                stacklevel=3,
+            )
 
     def _speculative_deliver(self, entry: HistoryEntry) -> None:
         rng = self._costs()
@@ -727,6 +764,10 @@ class DefinedShim(Stack):
             ]
             self.node.stats.annihilated += len(held)
             uids -= held
+        pruned_hits = sorted(u for u in uids if u in self._pruned_uid_log)
+        if pruned_hits:
+            self._retract_pruned(pruned_hits)
+            uids -= set(pruned_hits)
         hit_indices = [
             i
             for i, entry in enumerate(self.history.entries)
@@ -739,6 +780,42 @@ class DefinedShim(Stack):
         self._annihilate_pending.update(uids - delivered_uids)
         if hit_indices:
             self._rollback(min(hit_indices), [], removed_uids=uids)
+
+    def _retract_pruned(self, uids: list) -> None:
+        """An unsend reached back *past* the pruned history window.
+
+        The rollback cascade outran the retention window: the targeted
+        deliveries' checkpoints and output records are gone, so the state
+        rollback and the unsend cascade cannot happen -- determinism for
+        this node is forfeit, exactly like a late arrival, and it is
+        counted the same way (``late_deliveries`` + a slack deficit, so
+        "verified" stays an honest claim).  What *can* still be honored
+        is the execution log: the tags are excised so the fingerprint
+        reflects the final execution instead of keeping orphans of a
+        retracted causal chain forever.
+        """
+        hits = [self._pruned_uid_log.pop(u) for u in uids]
+        removed = sorted(idx for idx, _at in hits)
+        now = self.sim.now
+        for idx, delivered_at in hits:
+            self.late_deliveries += 1
+            self.pruned_retractions += 1
+            self._record_window_deficit(
+                max(0, (now - delivered_at) - self.window_us())
+            )
+        for i in reversed(removed):
+            del self.delivery_log[i]
+        # log indices of everything delivered after an excised tag shift
+        # down; fix up the live history and the remaining pruned map
+        def _shifted(index: int) -> int:
+            return index - bisect.bisect_left(removed, index)
+
+        for entry in self.history.entries:
+            if entry.log_index >= 0:
+                entry.log_index = _shifted(entry.log_index)
+        self._pruned_uid_log = {
+            u: (_shifted(idx), at) for u, (idx, at) in self._pruned_uid_log.items()
+        }
 
     def _rollback(self, index, new_entries, removed_uids: Set[int]) -> None:
         if self._replaying:
@@ -841,7 +918,14 @@ class DefinedShim(Stack):
         cutoff = self.sim.now - self.window_us()
         if cutoff <= 0:
             return
-        pruned = self.history.prune_before_time(cutoff)
+        dropped: list = []
+        pruned = self.history.prune_before_time(cutoff, collect=dropped)
+        for entry in dropped:
+            if entry.kind == "msg" and entry.msg is not None and entry.log_index >= 0:
+                self._pruned_uid_log[entry.msg.uid] = (
+                    entry.log_index,
+                    entry.delivered_at_us,
+                )
         if pruned and self._store is not None and len(self.history):
             # entries older than the window can never be rolled back to
             # again (Lemma 2): release their private copies in the store

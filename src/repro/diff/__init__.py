@@ -1,0 +1,27 @@
+"""First-divergence diff engine over run bundles.
+
+Fingerprint inequality says two executions differ; it does not say
+*where*.  This package parses the stable delivery-log tags back into
+structured steps (kind, group, message identity, payload) and walks two
+bundles' logs to the **first semantic divergence**: the earliest point
+-- by (group, node, step) -- where the two executions deliver different
+events.  The verdict names the node, the step index, the group, the
+message identity (origin:seq:sub) and the *first differing field*, which
+is usually the whole debugging session: "replay delivered b's flood for
+group 12 where production had a timer" points straight at the ordering
+or annotation decision that split the runs.
+
+CLI: ``repro diff a.run b.run``.
+"""
+
+from repro.diff.engine import Divergence, diff_bundles, diff_logs, render_divergence
+from repro.diff.tags import ParsedTag, parse_tag
+
+__all__ = [
+    "Divergence",
+    "ParsedTag",
+    "diff_bundles",
+    "diff_logs",
+    "parse_tag",
+    "render_divergence",
+]

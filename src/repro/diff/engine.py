@@ -1,0 +1,164 @@
+"""Locating the first semantic divergence between two executions.
+
+Per node, the first differing step is found by walking the two delivery
+logs in parallel (a ``None`` side means one log is a strict prefix of
+the other -- the shorter execution simply stopped).  Across nodes, the
+*first* divergence is the one with the smallest ``(group, node, step)``:
+groups are the global causal clock (every node's log is ordered by
+group), so the smallest diverging group is where the executions actually
+split -- everything later is fallout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.diff.tags import ParsedTag, parse_tag
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """The first point where two executions part ways."""
+
+    node: str
+    #: Index into the node's delivery log (0-based step number).
+    step: int
+    #: The smallest group tagged on either side of the diverging step
+    #: (None when neither side parses, e.g. a prefix-end divergence).
+    group: Optional[int]
+    #: Deterministic event identity at the diverging step (side A's when
+    #: both exist; ``origin:seq:sub`` for messages).
+    identity: Optional[str]
+    #: First differing tag field when both sides are the same tag kind
+    #: ("<kind>" when the kinds differ, "<end>" when one log ended).
+    field: str
+    a_tag: Optional[str]
+    b_tag: Optional[str]
+
+    def to_dict(self) -> Dict:
+        return {
+            "node": self.node,
+            "step": self.step,
+            "group": self.group,
+            "identity": self.identity,
+            "field": self.field,
+            "a": self.a_tag,
+            "b": self.b_tag,
+        }
+
+
+def _try_parse(tag: Optional[str]) -> Optional[ParsedTag]:
+    if tag is None:
+        return None
+    try:
+        return parse_tag(tag)
+    except ValueError:
+        return None
+
+
+def _classify(
+    node: str, step: int, a_tag: Optional[str], b_tag: Optional[str]
+) -> Divergence:
+    pa, pb = _try_parse(a_tag), _try_parse(b_tag)
+    groups = [p.group for p in (pa, pb) if p is not None and p.group is not None]
+    group = min(groups) if groups else None
+    identity = (pa or pb).identity if (pa or pb) is not None else None
+    if a_tag is None or b_tag is None:
+        field = "<end>"
+    elif pa is None or pb is None:  # pragma: no cover - malformed tag
+        field = "<unparsed>"
+    elif pa.kind != pb.kind:
+        field = "<kind>"
+    else:
+        field = next(
+            (
+                name for name in pa.field_order()
+                if pa.fields.get(name) != pb.fields.get(name)
+            ),
+            "late" if pa.late != pb.late else "<identical>",
+        )
+    return Divergence(
+        node=node, step=step, group=group, identity=identity,
+        field=field, a_tag=a_tag, b_tag=b_tag,
+    )
+
+
+def _node_first_divergence(
+    node: str, la: Sequence[str], lb: Sequence[str]
+) -> Optional[Divergence]:
+    for i in range(max(len(la), len(lb))):
+        ea = la[i] if i < len(la) else None
+        eb = lb[i] if i < len(lb) else None
+        if ea != eb:
+            return _classify(node, i, ea, eb)
+    return None
+
+
+def diff_logs(
+    a: Dict[str, Tuple[str, ...]],
+    b: Dict[str, Tuple[str, ...]],
+) -> Optional[Divergence]:
+    """First semantic divergence between two executions' delivery logs.
+
+    Returns ``None`` when the executions are identical.  Otherwise the
+    per-node first divergences are ranked by ``(group, node, step)`` --
+    group first, because group numbers are the shared causal clock -- and
+    the smallest wins.  A divergence with no parseable group ranks last
+    (it can only be a prefix-end on an otherwise-identical node).
+    """
+    candidates: List[Divergence] = []
+    for node in sorted(set(a) | set(b)):
+        d = _node_first_divergence(node, a.get(node, ()), b.get(node, ()))
+        if d is not None:
+            candidates.append(d)
+    if not candidates:
+        return None
+    return min(
+        candidates,
+        key=lambda d: (
+            d.group if d.group is not None else float("inf"),
+            d.node,
+            d.step,
+        ),
+    )
+
+
+def diff_bundles(a, b) -> Optional[Divergence]:
+    """Diff two :class:`~repro.artifact.RunBundle` objects.
+
+    The fingerprint is the fast path: equal fingerprints are equal
+    executions (that is what the fingerprint *is*), so the walk only
+    happens when they differ.
+    """
+    if a.fingerprint == b.fingerprint:
+        return None
+    divergence = diff_logs(a.logs(), b.logs())
+    if divergence is None:  # pragma: no cover - fingerprint covers logs only
+        raise ValueError(
+            "fingerprints differ but delivery logs are identical -- "
+            "bundle corrupt?"
+        )
+    return divergence
+
+
+def render_divergence(
+    divergence: Optional[Divergence],
+    a_label: str = "A",
+    b_label: str = "B",
+) -> str:
+    """Human-readable first-divergence report."""
+    if divergence is None:
+        return "executions identical (no divergence)"
+    d = divergence
+    lines = [
+        "first divergence:",
+        f"  node:     {d.node}",
+        f"  step:     {d.step}",
+        f"  group:    {d.group if d.group is not None else '?'}",
+        f"  identity: {d.identity if d.identity is not None else '?'}",
+        f"  field:    {d.field}",
+        f"  {a_label}: {d.a_tag if d.a_tag is not None else '<end of log>'}",
+        f"  {b_label}: {d.b_tag if d.b_tag is not None else '<end of log>'}",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""Parsing delivery-log tags back into structured steps.
+
+The stacks log one stable string tag per delivered event
+(:meth:`~repro.core.history.HistoryEntry.tag`):
+
+* ``m|protocol|src|origin|seq|sub|group|delay_us|payload!r`` -- a data
+  message;
+* ``e|kind|target!r|group|seq`` -- an external event;
+* ``t|timer_key|group`` -- a virtual-time timer firing;
+* any of the above prefixed ``late:`` -- delivered outside the ordered
+  window (window mis-sized; counted, not reordered).
+
+Payload and target reprs may themselves contain ``|``, so message tags
+split from the left with a bounded split (the payload is the 9th field)
+and external/timer tags split from the right (group/seq are trailing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+#: Field order used to report "first differing field" per tag kind.
+MSG_FIELDS = (
+    "protocol", "src", "origin", "seq", "sub", "group", "delay_us", "payload"
+)
+EXT_FIELDS = ("kind", "target", "group", "seq")
+TIMER_FIELDS = ("timer_key", "group")
+
+
+@dataclass(frozen=True)
+class ParsedTag:
+    """One delivery-log tag, decoded."""
+
+    raw: str
+    kind: str  # "msg" | "ext" | "timer"
+    late: bool
+    fields: Dict[str, str]
+
+    @property
+    def group(self) -> Optional[int]:
+        value = self.fields.get("group")
+        try:
+            return int(value) if value is not None else None
+        except ValueError:  # pragma: no cover - malformed tag
+            return None
+
+    @property
+    def identity(self) -> Optional[str]:
+        """Deterministic event identity: ``origin:seq:sub`` for messages,
+        ``kind:seq`` for externals, the timer key for timers."""
+        f = self.fields
+        if self.kind == "msg":
+            return f"{f['origin']}:{f['seq']}:{f['sub']}"
+        if self.kind == "ext":
+            return f"{f['kind']}:{f['seq']}"
+        return f.get("timer_key")
+
+    def field_order(self) -> Tuple[str, ...]:
+        if self.kind == "msg":
+            return MSG_FIELDS
+        if self.kind == "ext":
+            return EXT_FIELDS
+        return TIMER_FIELDS
+
+
+def parse_tag(tag: str) -> ParsedTag:
+    """Decode one delivery-log tag; raises ``ValueError`` on junk."""
+    raw = tag
+    late = tag.startswith("late:")
+    if late:
+        tag = tag[len("late:"):]
+    if tag.startswith("m|"):
+        parts = tag.split("|", 8)
+        if len(parts) != 9:
+            raise ValueError(f"malformed message tag: {raw!r}")
+        return ParsedTag(
+            raw=raw, kind="msg", late=late,
+            fields=dict(zip(MSG_FIELDS, parts[1:])),
+        )
+    if tag.startswith("e|"):
+        head, group, seq = tag.rsplit("|", 2)
+        parts = head.split("|", 2)
+        if len(parts) != 3:
+            raise ValueError(f"malformed external tag: {raw!r}")
+        return ParsedTag(
+            raw=raw, kind="ext", late=late,
+            fields={
+                "kind": parts[1], "target": parts[2],
+                "group": group, "seq": seq,
+            },
+        )
+    if tag.startswith("t|"):
+        head, group = tag.rsplit("|", 1)
+        return ParsedTag(
+            raw=raw, kind="timer", late=late,
+            fields={"timer_key": head[len("t|"):], "group": group},
+        )
+    raise ValueError(f"unrecognized delivery-log tag: {raw!r}")

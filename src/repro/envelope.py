@@ -95,20 +95,29 @@ class WindowSuggestion:
     target_quantile: float
     margin: float
     #: True once a full-grid re-run at ``window_us`` finished with zero
-    #: slack deficits and no errors -- the self-consistency check the
-    #: suggestion is not allowed to skip.
+    #: slack deficits, no errors, *and* every Theorem-1 replay check held
+    #: -- the self-consistency check the suggestion is not allowed to
+    #: skip.  Since the chain-delay spill fix, the lockstep replay is
+    #: exact at any delivery-jitter level, so the replay check is part of
+    #: the verification rather than a separately-reported caveat.
     verified: bool = False
     #: Whether the verification re-run's Theorem-1 checks (production vs
-    #: DEFINED-LS replay) also held.  Reported separately from
-    #: ``verified``: the window can be provably sufficient (zero
-    #: deficits) while the *lockstep replay* still diverges in regimes
-    #: outside its own envelope -- delivery jitter above the beacon
-    #: interval breaks its chain-delay estimates (known limitation, see
-    #: ROADMAP).  ``None`` until a verification round ran clean.
+    #: DEFINED-LS replay) held.  Retained for report-format
+    #: compatibility; it can no longer disagree with ``verified`` -- a
+    #: suggestion whose clean round saw a replay divergence does not
+    #: verify (and construction asserts the agreement).  ``None`` until a
+    #: deficit-free round ran.
     invariant_clean: Optional[bool] = None
     #: Verification attempts as ``(window_us, deficit_count, errors)``;
     #: more than one entry means the first suggestion escalated.
     rounds: Tuple[Tuple[int, int, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.verified and self.invariant_clean is not True:
+            raise ValueError(
+                "a verified suggestion requires invariant_clean=True: "
+                "verified subsumes the Theorem-1 replay check"
+            )
 
     def to_dict(self) -> Dict:
         return {
@@ -252,15 +261,16 @@ class EnvelopeReport:
                     f"suggested window_us = {s.window_us} "
                     f"(q{int(s.target_quantile * 100)} reach "
                     f"+ {int(s.margin * 100)}% margin) -- VERIFIED: "
-                    "re-run at this window reported zero slack deficits"
+                    "re-run at this window reported zero slack deficits "
+                    "and fingerprint-exact Theorem-1 replays"
                 )
-                if s.invariant_clean is False:
-                    parts.append(
-                        "note: the lockstep replay diverged at this "
-                        "jitter level despite zero deficits -- delivery "
-                        "jitter above the beacon interval is outside the "
-                        "replay's own envelope (see ROADMAP)"
-                    )
+            elif s.invariant_clean is False:
+                parts.append(
+                    f"suggested window_us = {s.window_us} -- NOT verified: "
+                    "the lockstep replay diverged despite zero slack "
+                    "deficits; this is a determinism bug, not a window-"
+                    "sizing problem (file it with the run bundles)"
+                )
             else:
                 parts.append(
                     f"suggested window_us = {s.window_us} -- NOT verified "
@@ -341,6 +351,7 @@ class EnvelopeRunner:
         boundary_jitter_us: Optional[int] = None,
         target_quantile: float = 0.99,
         margin: float = 0.25,
+        artifact_dir: Optional[str] = None,
     ) -> None:
         if not scenarios:
             raise ValueError("envelope mapping needs at least one scenario")
@@ -369,6 +380,10 @@ class EnvelopeRunner:
         self.mode = mode
         self.target_quantile = target_quantile
         self.margin = margin
+        #: Verification cells archive Theorem-1 divergences here as run
+        #: bundles (None: no archiving).  Mapping cells never check the
+        #: invariant, so only the verification pass can write bundles.
+        self.artifact_dir = artifact_dir
         # hand the real scenario list to the runner: run_cells() never
         # reads its grid, but _worker_context's spawn-portability guard
         # must see the names this envelope will actually ship to workers
@@ -412,6 +427,7 @@ class EnvelopeRunner:
                 window_us=window,
                 jitter_us=jitter,
                 check_invariant=check_invariant,
+                artifact_dir=self.artifact_dir,
             )
             for name in self.scenarios
             for jitter in self.jitters_us
@@ -503,10 +519,14 @@ class EnvelopeRunner:
                 rounds.append((window, deficits, errors))
                 report.verification_cells = vcells
                 if deficits == 0 and errors == 0:
-                    verified = True
                     invariant_clean = all(
                         c.invariant_ok is not False for c in vcells
                     )
+                    # a replay divergence at zero deficits is a
+                    # determinism bug, not a window-sizing problem --
+                    # escalating the window cannot fix it, so stop here
+                    # with the suggestion unverified
+                    verified = invariant_clean
                     break
                 # escalate from what the verification itself measured:
                 # the worst reach it saw, margin-inflated, and never less

@@ -166,6 +166,7 @@ def build_ospf_network(
         # measured link-delay configuration to the replay
         any_stack = next(iter(net.nodes.values())).stack
         recorder.hop_cost_us = any_stack.hop_cost_us
+        recorder.spill_bound_us = any_stack.spill_bound_us
         for link in net.links.values():
             recorder.delay_estimates[f"{link.a}>{link.b}"] = link.avg_delay_us(link.a)
             recorder.delay_estimates[f"{link.b}>{link.a}"] = link.avg_delay_us(link.b)
@@ -178,6 +179,8 @@ def build_ospf_network(
 
         net.attach(ddos_stack, factory)
         beacons = BeaconService(net)
+        for node in net.nodes.values():
+            node.stack.group_provider = lambda: beacons.group
     else:
         raise ValueError(f"unknown mode {mode!r}")
     return net, recorder, beacons, comp_log
@@ -292,8 +295,18 @@ def run_production(
     net.run(until_us=net.sim.now + tail_us)
     if beacons is not None:
         beacons.stop()
-        # let in-flight beacons and any final rollbacks settle
-        net.run(until_us=net.sim.now + net.time_unit_us)
+        if mode == "defined":
+            # Drain to full quiescence: with delivery jitter above the
+            # beacon interval, a one-interval grace period leaves
+            # horizon-group traffic in flight when the sim halts -- the
+            # replay (which always quiesces every group) would then
+            # deliver messages production's truncated log never saw.
+            # Once beaconing stops, virtual time is frozen (no timers
+            # fire), so the remaining cascades are finite.
+            net.run()
+        else:
+            # let in-flight beacons and any final rollbacks settle
+            net.run(until_us=net.sim.now + net.time_unit_us)
 
     late = 0
     rollbacks = net.run_stats.total_rollbacks()

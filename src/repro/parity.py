@@ -1,0 +1,89 @@
+"""Cross-interpreter bundle-hash parity (the CI ``parity`` job).
+
+Theorem 1 makes a claim the artifact layer can enforce mechanically: an
+execution is a function of the workload, not of the machine running it.
+Run bundles operationalize that -- the content address hashes only the
+canonically-serialized semantic section, with environment metadata kept
+outside -- so the *same grid run under different interpreters must
+produce byte-identical bundle hashes*.
+
+This module runs a small fixed grid (production + Theorem-1 replay per
+cell, with the super-beacon 300 ms jitter regime included, since that is
+where the chain-delay model earns its keep) and emits one
+``scenario seed role sha256`` line per bundle.  CI runs it once per
+python version and diffs the outputs; any split is a determinism
+regression with a named cell attached.
+
+Usage: ``python -m repro.parity [--out hashes.txt]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+#: The parity grid: (scenario, seed, delivery-jitter override).  Small
+#: on purpose -- parity needs witnesses, not coverage -- but it must
+#: include a super-beacon-jitter cell (the closed Theorem-1 hole).
+PARITY_GRID: Tuple[Tuple[str, int, Optional[int]], ...] = (
+    ("flap-storm@20", 1, 300_000),
+    ("crash-restart", 1, None),
+    ("partition", 2, None),
+)
+
+
+def bundle_hashes(
+    grid: Sequence[Tuple[str, int, Optional[int]]] = PARITY_GRID,
+) -> List[str]:
+    """Run the grid; one ``scenario seed role sha256`` line per bundle."""
+    from repro.artifact import RunBundle
+    from repro.harness import run_ls_replay, run_production
+    from repro.sweep import get_scenario
+
+    lines: List[str] = []
+    for name, seed, jitter_us in grid:
+        scenario = get_scenario(name)
+        graph = scenario.topology(seed)
+        schedule = scenario.schedule(graph, seed)
+        context = {"scenario": name, "seed": seed, "jitter_us": jitter_us}
+        production = run_production(
+            graph,
+            schedule,
+            mode="defined",
+            seed=seed,
+            jitter_us=jitter_us if jitter_us is not None else scenario.jitter_us,
+            ordering=scenario.ordering,
+            measure_convergence=False,
+            settle_us=scenario.settle_us,
+            tail_us=scenario.tail_us,
+        )
+        prod_bundle = RunBundle.from_production(production, context=context)
+        lines.append(f"{name} seed={seed} production {prod_bundle.sha256}")
+        replay = run_ls_replay(
+            graph, production.recording, ordering=scenario.ordering
+        )
+        replay_bundle = RunBundle.from_replay(replay, context=context)
+        lines.append(f"{name} seed={seed} replay {replay_bundle.sha256}")
+    return lines
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.parity",
+        description="emit content-addressed bundle hashes for the fixed "
+        "parity grid (CI diffs these across interpreters)",
+    )
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="also write the hash lines to this file")
+    args = parser.parse_args(argv)
+    text = "\n".join(bundle_hashes()) + "\n"
+    sys.stdout.write(text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

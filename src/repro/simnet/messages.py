@@ -67,6 +67,7 @@ class Annotation:
         sub: int,
         over_chain_bound: bool,
         sender: str = "",
+        spill_bound_us: Optional[int] = None,
     ) -> "Annotation":
         """Annotation for a message *caused by* a message carrying ``self``.
 
@@ -75,23 +76,39 @@ class Annotation:
         and inherits the group number -- unless the causal chain exceeded
         the configured bound, in which case it is assigned to the next
         group (and the chain length restarts).
+
+        ``spill_bound_us`` (normally the beacon interval) keeps the
+        estimate *honest*: a group-``g`` message with ``d_i >= interval``
+        is predicted to arrive during group ``g+1``'s phase or later, so
+        tagging it ``g`` misplaces it -- its ordering key sorts below an
+        entire phase of already-delivered traffic at every receiver,
+        turning long floods under super-beacon jitter into rollback
+        cascades deep enough to outrun the history window.  When the
+        accumulated delay crosses the bound, the annotation spills into
+        the next group phase (deterministically, so the production shim
+        and the lockstep replay agree bit for bit) and ``d_i`` keeps the
+        remainder: the estimated offset into the phase it now belongs to.
+        Lexicographic ``(group, d_i)`` order is then exactly order by
+        ``group * bound + d_i``, so spilling preserves the strict
+        causal monotonicity of the key along chains.
         """
+        group = self.group
+        chain = self.chain + 1
+        delay = self.delay_us + link_delay_us
         if over_chain_bound:
-            return Annotation(
-                origin=self.origin,
-                seq=self.seq,
-                delay_us=self.delay_us + link_delay_us,
-                group=self.group + 1,
-                chain=0,
-                sub=sub,
-                sender=sender,
-            )
+            group += 1
+            chain = 0
+        if spill_bound_us is not None and spill_bound_us > 0:
+            while delay >= spill_bound_us:
+                group += 1
+                chain = 0
+                delay -= spill_bound_us
         return Annotation(
             origin=self.origin,
             seq=self.seq,
-            delay_us=self.delay_us + link_delay_us,
-            group=self.group,
-            chain=self.chain + 1,
+            delay_us=delay,
+            group=group,
+            chain=chain,
             sub=sub,
             sender=sender,
         )

@@ -61,6 +61,7 @@ Two scale-out mechanisms round the grid machinery out:
 
 from __future__ import annotations
 
+import os
 import random
 import re
 import time
@@ -420,9 +421,8 @@ def compose(
       edges) hosts the composition, so every component's fault generator
       has room to act;
     * **expect**: the AND of every component predicate;
-    * **modes**: the intersection, in the first component's order (so a
-      crash/restart component drops the ``ddos`` mode from an overload
-      component -- the DDOS baseline stack cannot restart nodes);
+    * **modes**: the intersection, in the first component's order (a
+      component with a restricted mode list narrows the composition);
     * **knobs**: most adversarial wins -- max ``jitter_us``, min
       ``settle_us``, max ``tail_us``.
 
@@ -849,6 +849,13 @@ class SweepCell:
     #: snapshot tests sweep the same grid under both values and demand
     #: bit-identical fingerprints.
     snapshots: Optional[str] = None
+    #: When set, a ``defined`` cell whose Theorem-1 check fails archives
+    #: both executions as content-addressed run bundles in this
+    #: directory (the production bundle embeds the recording, so the
+    #: divergence is replayable offline with ``repro diff``).  Workers
+    #: write the bundles themselves: the fixed-width result record
+    #: cannot carry paths.
+    artifact_dir: Optional[str] = None
 
     @property
     def network_seed(self) -> int:
@@ -910,27 +917,37 @@ class CellResult:
         )
 
 
-def _check_mode_supports_schedule(
-    scenario_name: str, mode: str, schedule: EventSchedule
-) -> None:
-    """Refuse mode/schedule combinations with known-bogus semantics.
+def _archive_divergence(cell: SweepCell, production, replay) -> None:
+    """Write both sides of a failed Theorem-1 check as run bundles.
 
-    The DDOS baseline stack has no rejoin protocol: ``DdosStack.start()``
-    reboots at virtual time 0 (see ROADMAP), so replaying a crash/restart
-    schedule under ``ddos`` would manufacture a time-0 reboot divergence
-    that says nothing about determinism.  Fail with a clear error instead
-    -- mode intersection already keeps crash-bearing *compositions* off
-    the ddos mode; this guard catches explicit ``--modes`` overrides.
+    Bundle writing must never sink the cell: the divergence itself is
+    the result, the artifact is a debugging convenience, so I/O errors
+    degrade to a warning.
     """
-    if mode != "ddos":
-        return
-    crashy = {NODE_DOWN, NODE_UP} & set(schedule.kinds())
-    if crashy:
-        raise ValueError(
-            f"scenario {scenario_name!r} schedules {sorted(crashy)} events, "
-            "which the ddos baseline stack cannot run: DdosStack restarts "
-            "reboot at virtual time 0 (no rejoin-at-current-group protocol). "
-            "Drop the ddos mode for this scenario."
+    from repro.artifact import RunBundle
+
+    context = {
+        "scenario": cell.scenario,
+        "seed": cell.seed,
+        "jitter_seed": cell.jitter_seed,
+        "window_us": cell.window_us,
+        "jitter_us": cell.jitter_us,
+        "snapshots": cell.snapshots,
+    }
+    try:
+        os.makedirs(cell.artifact_dir, exist_ok=True)
+        RunBundle.from_production(production, context=context).save(
+            cell.artifact_dir
+        )
+        RunBundle.from_replay(replay, context=context).save(cell.artifact_dir)
+    except OSError as exc:  # pragma: no cover - disk-full/permission paths
+        import warnings
+
+        warnings.warn(
+            f"could not archive divergence bundles for "
+            f"{cell.scenario}/seed={cell.seed}: {exc}",
+            RuntimeWarning,
+            stacklevel=2,
         )
 
 
@@ -952,7 +969,6 @@ def run_cell(cell: SweepCell) -> CellResult:
         scenario = get_scenario(cell.scenario)
         graph = scenario.topology(cell.seed)
         schedule = scenario.schedule(graph, cell.seed)
-        _check_mode_supports_schedule(cell.scenario, cell.mode, schedule)
         daemon_factory = scenario.daemon(graph) if scenario.daemon else None
         snapshots = cell.snapshots if cell.snapshots is not None else "cow"
         result = run_production(
@@ -988,6 +1004,8 @@ def run_cell(cell: SweepCell) -> CellResult:
                 )
                 replay_fp = replay.fingerprint
                 invariant = replay_fp == result.fingerprint
+                if invariant is False and cell.artifact_dir:
+                    _archive_divergence(cell, result, replay)
         expected = scenario.expect(result) if scenario.expect else None
         return CellResult(
             scenario=cell.scenario,
@@ -1330,6 +1348,7 @@ class SweepRunner:
         repeats: int = 1,
         transport: str = "shm",
         snapshots: Optional[str] = None,
+        artifact_dir: Optional[str] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -1357,6 +1376,9 @@ class SweepRunner:
         self.repeats = repeats
         self.transport = transport
         self.snapshots = snapshots
+        #: Directory Theorem-1 divergences are archived into as run
+        #: bundles (None: no archiving); see :attr:`SweepCell.artifact_dir`.
+        self.artifact_dir = artifact_dir
 
     def _worker_context(self):
         """Multiprocessing context for the pool.
@@ -1405,6 +1427,7 @@ class SweepRunner:
                             SweepCell(
                                 name, seed, mode, repeat, jitter_seed,
                                 snapshots=self.snapshots,
+                                artifact_dir=self.artifact_dir,
                             )
                         )
         return cells

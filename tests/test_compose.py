@@ -195,23 +195,57 @@ class TestJittered:
         assert result.invariant_ok is True
 
 
-class TestDdosRestartGuard:
-    def test_crash_schedule_under_ddos_mode_errors_clearly(self):
-        result = run_cell(SweepCell("crash-restart", seed=1, mode="ddos"))
-        assert result.error is not None
-        assert "ddos baseline stack cannot run" in result.error
-        assert "virtual time 0" in result.error
+class TestDdosRestart:
+    """DdosStack now rejoins at the current group, so crash/restart
+    schedules run under the ddos mode instead of being refused."""
 
-    def test_composed_crash_forced_into_ddos_mode_errors_clearly(self):
+    def test_crash_schedule_under_ddos_mode_runs(self):
+        result = run_cell(SweepCell("crash-restart", seed=1, mode="ddos"))
+        assert result.error is None
+        assert result.ok
+
+    def test_composed_crash_under_ddos_mode_runs(self):
         result = run_cell(
             SweepCell("crash-restart+ddos-overload", seed=1, mode="ddos")
         )
-        assert result.error is not None
-        assert "ddos baseline stack cannot run" in result.error
+        assert result.error is None
 
     def test_link_only_schedules_still_run_under_ddos(self):
         result = run_cell(SweepCell("ddos-overload~j1us", seed=1, mode="ddos"))
         assert result.error is None
+
+    def test_rejoin_is_at_current_group_not_zero(self):
+        from repro.sweep import get_scenario
+        from repro.harness import run_production
+
+        scenario = get_scenario("crash-restart")
+        graph = scenario.topology(1)
+        schedule = scenario.schedule(graph, 1)
+        result = run_production(
+            graph,
+            schedule,
+            mode="ddos",
+            seed=1,
+            jitter_us=scenario.jitter_us,
+            ordering=scenario.ordering,
+            settle_us=scenario.settle_us,
+            tail_us=scenario.tail_us,
+        )
+        # every post-restart delivery at the victim is tagged with the
+        # rejoin group, not group 0: a time-0 reboot would re-log startup
+        # timers as "t|...|0" a second time
+        victims = {
+            ev.target for ev in schedule.events if ev.kind == "node_up"
+        }
+        assert victims
+        for victim in victims:
+            log = result.logs[victim]
+            starts = [i for i, tag in enumerate(log) if tag.endswith("|0")
+                      and tag.startswith("t|")]
+            # timer tags for group 0 must all precede the first crash --
+            # i.e. appear only in one contiguous startup prefix
+            if starts:
+                assert starts == list(range(starts[0], starts[0] + len(starts)))
 
 
 class TestFuzzRunner:
