@@ -1,0 +1,39 @@
+"""Fingerprint-pipeline benchmarks: cached interned tags vs repr rebuild.
+
+PR 8's claim is that event identity is computed once: the payload repr
+is canonicalized and interned at origination, the full identity tag is
+cached on the history entry, and the per-node delivery logs fold into
+rolling digests.  These benches measure the per-delivery tag + digest
+cost over a settled flap-storm@40 history and pin the acceptance bar:
+the cached path must be at least 2x faster per delivery than rebuilding
+``repr(payload)`` on every ``tag()`` call (in practice ~3-4x; the bar
+leaves room for slow CI hosts).  Both paths must agree on the
+fingerprint bit-for-bit -- the differential grid
+(tests/test_fingerprint_differential.py) pins the same equality across
+whole cells.
+
+``repro bench --json`` records the same numbers machine-readably under
+the ``fingerprint`` key.
+"""
+
+from _bench import emit
+
+from repro.bench import fingerprint_bench
+
+
+def test_fingerprint_tag_cache_speedup_at_least_2x():
+    """The acceptance bar: >=2x per-delivery, measured back to back in
+    one process so host speed cancels out."""
+    result = fingerprint_bench(scenario="flap-storm@40", seed=1, repeats=20)
+    emit(
+        f"fingerprint on flap-storm@40 ({result['deliveries']} deliveries): "
+        f"cached {result['cached']['fingerprint_us']:.3f} us/delivery, "
+        f"rebuild {result['rebuild']['fingerprint_us']:.3f} us/delivery, "
+        f"speedup {result['speedup']:.1f}x"
+    )
+    assert result["fingerprints_match"], (
+        "cached and rebuild passes disagree on the fingerprint"
+    )
+    assert result["speedup"] >= 2.0, (
+        f"cached tags only {result['speedup']:.1f}x faster than repr rebuild"
+    )

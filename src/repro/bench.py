@@ -14,6 +14,12 @@ committed baseline (``BENCH_5.json``) instead of anecdotes:
   differential guarantee and the speedup in one number.
 * **sweep**: grid cells per second through :class:`~repro.sweep.SweepRunner`
   (the unit every envelope/fuzz/sweep campaign is billed in).
+* **fingerprint**: per-delivery identity-tag + digest cost
+  (``fingerprint_us``), cached interned tags (the shipping path) vs
+  per-delivery repr rebuild (the pre-interning reference the
+  differential grid pins against).  The acceptance bar is 2x on this
+  metric; end-to-end wall is dominated by SPF and the checkpoint write
+  barrier, so the **run** number moves only a few percent.
 
 Wall-clock numbers are host-dependent: the committed baseline records
 the machine that produced it, and the CI comparison *warns* (rather than
@@ -135,6 +141,83 @@ def run_bench(scenario: str = "flap-storm", seed: int = 1) -> Dict[str, Any]:
     return out
 
 
+def fingerprint_bench(
+    scenario: str = "flap-storm@40", seed: int = 1, repeats: int = 20
+) -> Dict[str, Any]:
+    """Per-delivery tag + digest cost, cached vs repr rebuild.
+
+    Harvests the history entries of a settled DEFINED-RB network, then
+    replays the fingerprint pipeline over them under both settings of
+    the tag cache: the cached pass serves interned tags and folds the
+    per-node :class:`~repro.core.fingerprint.DeliveryLog` digests; the
+    rebuild pass re-renders ``repr(payload)`` on every delivery and
+    hashes a plain list at the end (the pre-PR-8 behaviour).  Both
+    passes must agree on the fingerprint bit-for-bit.
+    """
+    from repro.core.fingerprint import DeliveryLog, execution_fingerprint
+    from repro.core.history import set_tag_cache
+
+    # drive deeper into the schedule than the checkpoint bench does: a
+    # handful of flap cycles leaves ~500 retained deliveries with real
+    # LSA payloads, enough to amortize the per-node combine overhead out
+    # of the per-delivery number.
+    net, beacons = _settled_defined_network(scenario, seed, "cow",
+                                            warm_events=12)
+    entries = {
+        node_id: list(node.stack.history.entries)
+        for node_id, node in net.nodes.items()
+    }
+    beacons.stop()
+    deliveries = sum(len(node_entries) for node_entries in entries.values())
+
+    def cached_pass() -> str:
+        logs: Dict[str, DeliveryLog] = {}
+        for node_id, node_entries in entries.items():
+            log = DeliveryLog()
+            for entry in node_entries:
+                log.append(entry.tag())
+            logs[node_id] = log
+        return execution_fingerprint(logs)
+
+    def rebuild_pass() -> str:
+        logs: Dict[str, List[str]] = {}
+        for node_id, node_entries in entries.items():
+            logs[node_id] = [entry.tag() for entry in node_entries]
+        return execution_fingerprint(logs)
+
+    out: Dict[str, Any] = {
+        "scenario": scenario, "seed": seed,
+        "deliveries": deliveries, "repeats": repeats,
+    }
+    fingerprints: Dict[str, str] = {}
+    old = set_tag_cache(True)
+    try:
+        cached_pass()  # warm every cached_tag before timing
+        for label, passer, cache_on in (
+            ("cached", cached_pass, True),
+            ("rebuild", rebuild_pass, False),
+        ):
+            set_tag_cache(cache_on)
+            samples: List[float] = []
+            for _ in range(repeats):
+                t0 = time.perf_counter_ns()
+                fingerprints[label] = passer()
+                samples.append((time.perf_counter_ns() - t0) / 1000.0)
+            per_pass = statistics.median(samples)
+            out[label] = {
+                "fingerprint_us": round(per_pass / max(deliveries, 1), 4),
+                "pass_ms": round(per_pass / 1000.0, 3),
+            }
+    finally:
+        set_tag_cache(old)
+    out["speedup"] = round(
+        out["rebuild"]["fingerprint_us"]
+        / max(out["cached"]["fingerprint_us"], 1e-9), 2
+    )
+    out["fingerprints_match"] = fingerprints["cached"] == fingerprints["rebuild"]
+    return out
+
+
 def sweep_bench(
     scenarios=("flap-storm", "partition"), seeds=(1,), workers: int = 1
 ) -> Dict[str, Any]:
@@ -174,6 +257,10 @@ def collect(quick: bool = False) -> Dict[str, Any]:
         ),
         "run": run_bench(),
         "sweep": sweep_bench(),
+        "fingerprint": fingerprint_bench(
+            scenario="flap-storm@20" if quick else "flap-storm@40",
+            repeats=5 if quick else 20,
+        ),
     }
     return report
 
@@ -185,6 +272,11 @@ WATCHED = (
     (("checkpoint", "speedup"), "checkpoint speedup", True),
     (("run", "cow", "wall_s"), "cow run wall_s", False),
     (("sweep", "cells_per_s"), "sweep cells_per_s", True),
+    # absent from baselines older than bench_format 1 + PR 8;
+    # compare() skips watched metrics the baseline does not carry.
+    (("fingerprint", "cached", "fingerprint_us"),
+     "fingerprint cached per-delivery us", False),
+    (("fingerprint", "speedup"), "fingerprint tag-cache speedup", True),
 )
 
 

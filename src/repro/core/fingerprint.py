@@ -21,23 +21,119 @@ fingerprint equalities:
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+#: Separators keeping the fold injective: node id / entry / node
+#: boundaries cannot be confused by concatenation.
+_NODE_SEP = b"\x00"
+_ENTRY_SEP = b"\x01"
+_NODE_END = b"\x02"
 
 
-def execution_fingerprint(logs: Dict[str, Tuple[str, ...]]) -> str:
+class DeliveryLog:
+    """One node's ordered delivery log with a rolling identity digest.
+
+    Quacks like the ``List[str]`` it replaces (append / len / index /
+    slice / ``del log[i:]``), but each entry's UTF-8 encoding is cached
+    at append time and folded into a per-node rolling SHA-256, so the
+    end-of-run fingerprint never re-encodes (let alone re-renders) an
+    entry.  Folding is lazy up to a watermark: a rollback that truncates
+    *unfolded* tail entries costs nothing, and one that cuts below the
+    watermark rebases the digest by refolding the cached bytes -- hash
+    work only, no repr rebuild.
+    """
+
+    __slots__ = ("_tags", "_encoded", "_digest", "_folded")
+
+    def __init__(self, entries: Sequence[str] = ()) -> None:
+        self._tags: List[str] = []
+        self._encoded: List[bytes] = []
+        self._digest = hashlib.sha256()
+        self._folded = 0
+        for tag in entries:
+            self.append(tag)
+
+    # -- list protocol (the mutations the shims actually perform) -------
+    def append(self, tag: str) -> None:
+        self._tags.append(tag)
+        self._encoded.append(tag.encode())
+
+    def __len__(self) -> int:
+        return len(self._tags)
+
+    def __bool__(self) -> bool:
+        return bool(self._tags)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._tags)
+
+    def __getitem__(self, index: Union[int, slice]):
+        return self._tags[index]
+
+    def __delitem__(self, index: Union[int, slice]) -> None:
+        if isinstance(index, slice):
+            start = min(
+                range(*index.indices(len(self._tags))),
+                default=len(self._tags),
+            )
+        else:
+            start = index if index >= 0 else len(self._tags) + index
+        del self._tags[index]
+        del self._encoded[index]
+        if start < self._folded:
+            # the digest covers bytes that are gone: rebase lazily
+            self._digest = hashlib.sha256()
+            self._folded = 0
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, DeliveryLog):
+            return self._tags == other._tags
+        if isinstance(other, (list, tuple)):
+            return self._tags == list(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<DeliveryLog {len(self._tags)} entries>"
+
+    def as_tuple(self) -> Tuple[str, ...]:
+        return tuple(self._tags)
+
+    # -- digest ---------------------------------------------------------
+    def node_digest(self) -> bytes:
+        """Digest of the entry sequence, folding only what append/rebase
+        has not folded yet."""
+        update = self._digest.update
+        for data in self._encoded[self._folded:]:
+            update(data)
+            update(_ENTRY_SEP)
+        self._folded = len(self._encoded)
+        return self._digest.digest()
+
+
+def _node_digest(log: Sequence[str]) -> bytes:
+    if isinstance(log, DeliveryLog):
+        return log.node_digest()
+    digest = hashlib.sha256()
+    for entry in log:
+        digest.update(entry.encode())
+        digest.update(_ENTRY_SEP)
+    return digest.digest()
+
+
+def execution_fingerprint(logs: Dict[str, Sequence[str]]) -> str:
     """Hash per-node delivery logs into one hex digest.
 
     Nodes are folded in sorted order so the digest is independent of dict
-    iteration order.
+    iteration order.  Each node contributes a fixed-width per-node digest
+    (rolling when the log is a :class:`DeliveryLog`), so the combine step
+    is O(nodes) at run end regardless of how many entries were delivered.
     """
     digest = hashlib.sha256()
     for node_id in sorted(logs):
         digest.update(node_id.encode())
-        digest.update(b"\x00")
-        for entry in logs[node_id]:
-            digest.update(entry.encode())
-            digest.update(b"\x01")
-        digest.update(b"\x02")
+        digest.update(_NODE_SEP)
+        digest.update(_node_digest(logs[node_id]))
+        digest.update(_NODE_END)
     return digest.hexdigest()
 
 

@@ -53,8 +53,10 @@ class WindowHeadroomStats:
 
     ``window_us`` is the effective window of the run (override or the
     default formula).  All deficit fields are 0 when ``late_count`` is 0.
-    A deficit recorded as 0 means "late, but the pruned predecessor
-    predates measurement" -- still counted, never invented.
+    Late arrivals whose deficit could not be measured (the pruned
+    predecessor predates measurement) are counted in ``late_count`` and
+    ``unmeasured_count`` but contribute no sample -- counted, never
+    invented.
     """
 
     window_us: int
@@ -63,19 +65,29 @@ class WindowHeadroomStats:
     p50_deficit_us: int = 0
     p90_deficit_us: int = 0
     p99_deficit_us: int = 0
+    #: Late arrivals whose pruned predecessor predates measurement: the
+    #: window was definitely too small, but by an unknown amount.  They
+    #: count toward ``late_count`` and are *excluded* from the deficit
+    #: quantiles -- folding them in as zeros dragged p50/p90 toward 0 and
+    #: made ``envelope --suggest`` optimistic.
+    unmeasured_count: int = 0
 
     @classmethod
     def from_samples(
-        cls, window_us: int, deficits_us: Sequence[int]
+        cls,
+        window_us: int,
+        deficits_us: Sequence[int],
+        unmeasured_count: int = 0,
     ) -> "WindowHeadroomStats":
         ordered = sorted(int(d) for d in deficits_us)
         return cls(
             window_us=int(window_us),
-            late_count=len(ordered),
+            late_count=len(ordered) + int(unmeasured_count),
             max_deficit_us=int(ordered[-1]) if ordered else 0,
             p50_deficit_us=_quantile_us(ordered, 0.50),
             p90_deficit_us=_quantile_us(ordered, 0.90),
             p99_deficit_us=_quantile_us(ordered, 0.99),
+            unmeasured_count=int(unmeasured_count),
         )
 
     @property
@@ -107,7 +119,34 @@ class WindowHeadroomStats:
             "p50_deficit_us": self.p50_deficit_us,
             "p90_deficit_us": self.p90_deficit_us,
             "p99_deficit_us": self.p99_deficit_us,
+            "unmeasured_count": self.unmeasured_count,
         }
+
+
+class _TagCacheSwitch:
+    """Process-wide switch for the identity-tag fast path.
+
+    On (the default), tags are rendered once per entry with the interned
+    payload repr and cached.  Off, every ``tag()`` call re-renders from
+    the live payload -- the pre-interning behaviour.  The differential
+    grid runs the same cells under both settings and requires
+    bit-identical fingerprints (tests/test_fingerprint_differential.py).
+    """
+
+    __slots__ = ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = True
+
+
+_TAG_CACHE = _TagCacheSwitch()
+
+
+def set_tag_cache(enabled: bool) -> bool:
+    """Toggle the tag cache (differential tests only); returns the old value."""
+    old = _TAG_CACHE.enabled
+    _TAG_CACHE.enabled = bool(enabled)
+    return old
 
 
 @dataclass
@@ -134,6 +173,11 @@ class HistoryEntry:
     outputs: List[Tuple[int, str]] = field(default_factory=list)
     delivered_at_us: int = -1
     log_index: int = -1
+    #: Cached identity tag.  The fields a tag encodes are fixed at
+    #: creation (the payload by the store's freeze-at-origination
+    #: contract), so the render happens at most once per entry --
+    #: rollback re-executions and lockstep replay waves reuse it.
+    cached_tag: Optional[str] = field(default=None, repr=False, compare=False)
 
     def tag(self) -> str:
         """Stable identity tag for the delivery log / fingerprint.
@@ -141,13 +185,35 @@ class HistoryEntry:
         Contains no timestamps, uids or other run-varying data -- only the
         deterministic identity of the event -- so DEFINED-RB runs under
         different seeds and DEFINED-LS replays produce comparable logs.
+        Rendered once and cached; :meth:`render_tag` is the uncached
+        reference path the differential tests pin against.
+        """
+        if not _TAG_CACHE.enabled:
+            return self.render_tag()
+        tag = self.cached_tag
+        if tag is None:
+            tag = self.render_tag(intern=True)
+            self.cached_tag = tag
+        return tag
+
+    def render_tag(self, intern: bool = False) -> str:
+        """Render the tag from the entry's fields (no cache).
+
+        With ``intern=False`` the payload repr is rebuilt from the live
+        payload object -- byte-for-byte the pre-interning behaviour, kept
+        as the reference the differential grid compares fingerprints
+        against.
         """
         if self.kind == "msg":
             assert self.msg is not None and self.msg.annotation is not None
             a = self.msg.annotation
+            payload_repr = (
+                self.msg.canonical_payload_repr() if intern
+                else repr(self.msg.payload)
+            )
             return (
                 f"m|{self.msg.protocol}|{self.msg.src}|{a.origin}|{a.seq}|"
-                f"{a.sub}|{a.group}|{a.delay_us}|{self.msg.payload!r}"
+                f"{a.sub}|{a.group}|{a.delay_us}|{payload_repr}"
             )
         if self.kind == "ext":
             assert self.event is not None
@@ -156,7 +222,11 @@ class HistoryEntry:
         return f"t|{self.timer_key}|{self.group}"
 
     def reset_for_replay(self) -> None:
-        """Strip per-delivery state so the entry can be delivered again."""
+        """Strip per-delivery state so the entry can be delivered again.
+
+        The cached tag survives: replay re-delivers the *same* event, so
+        its identity -- and therefore its tag -- is unchanged by design.
+        """
         self.checkpoint = None
         self.outputs = []
         self.delivered_at_us = -1

@@ -218,6 +218,9 @@ class LockstepStack(Stack):
             annotation=annotation,
             size_bytes=size_bytes,
         )
+        # origination freezes the payload (store contract); the interned
+        # repr is shared by the output id below and every delivery tag
+        msg.canonical_payload_repr()
         if self._collecting:
             # The differential-retransmission identity must cover every
             # annotation field that shapes downstream ordering keys: a
@@ -228,7 +231,7 @@ class LockstepStack(Stack):
             out_id = identity + (
                 annotation.delay_us,
                 annotation.chain,
-                repr(payload),
+                msg.canonical_payload_repr(),
             )
             self._new_outputs.append((out_id, msg))
         else:

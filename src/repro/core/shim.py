@@ -199,12 +199,16 @@ class DefinedShim(Stack):
         #: cannot be guaranteed for them (window mis-sized).  Counted so
         #: experiments can assert it stayed at zero.
         self.late_deliveries = 0
-        #: Slack deficit of *every* late delivery (0 when the pruned
-        #: predecessor predates measurement), cumulative across reboots.
-        #: Warnings only surface the first/escalating deficits; the full
-        #: distribution feeds :meth:`headroom_stats` and, through it, the
-        #: window-envelope mapper's suggestion.
+        #: Slack deficit of every *measured* late delivery, cumulative
+        #: across reboots.  Warnings only surface the first/escalating
+        #: deficits; the full distribution feeds :meth:`headroom_stats`
+        #: and, through it, the window-envelope mapper's suggestion.
         self.deficit_samples_us: list = []
+        #: Late deliveries whose pruned predecessor predates measurement:
+        #: late for sure, deficit unknown.  Tracked separately instead of
+        #: appending a fabricated 0 sample, which dragged the quantiles
+        #: toward 0 and made ``envelope --suggest`` optimistic.
+        self.deficit_unmeasured = 0
         #: While a late arrival is being delivered *outside* the ordered
         #: window, this floors the group that timers armed (and messages
         #: originated) by its processing are tagged with.  Without the
@@ -412,6 +416,10 @@ class DefinedShim(Stack):
             annotation=annotation,
             size_bytes=size_bytes,
         )
+        # origination freezes the payload (store contract): render and
+        # intern its canonical repr now, so every later identity use --
+        # delivery tags, rollback re-tags, replay -- reuses one string
+        msg.canonical_payload_repr()
 
         deliverable = link.up and self.node.up and network.nodes[dst].up
         if self.recorder is not None:
@@ -637,8 +645,16 @@ class DefinedShim(Stack):
             self._rollback(index, new_inputs, removed_uids=set())
 
     def _record_window_deficit(self, deficit: Optional[int]) -> None:
-        """Count one window miss and surface first/escalating deficits."""
-        self.deficit_samples_us.append(deficit if deficit is not None else 0)
+        """Count one window miss and surface first/escalating deficits.
+
+        ``deficit=None`` means "late, but the pruned predecessor predates
+        measurement": counted as unmeasured, never invented as a zero
+        sample (that conflation skewed the headroom quantiles).
+        """
+        if deficit is None:
+            self.deficit_unmeasured += 1
+        else:
+            self.deficit_samples_us.append(deficit)
         escalated = self._reported_deficit_us is None or (
             deficit is not None and deficit > self._reported_deficit_us
         )
@@ -911,7 +927,9 @@ class DefinedShim(Stack):
     def headroom_stats(self) -> WindowHeadroomStats:
         """The slack-deficit distribution this node measured so far."""
         return WindowHeadroomStats.from_samples(
-            self.window_us(), self.deficit_samples_us
+            self.window_us(),
+            self.deficit_samples_us,
+            unmeasured_count=self.deficit_unmeasured,
         )
 
     def _prune_window(self) -> None:

@@ -111,6 +111,13 @@ class WindowSuggestion:
     #: Verification attempts as ``(window_us, deficit_count, errors)``;
     #: more than one entry means the first suggestion escalated.
     rounds: Tuple[Tuple[int, int, int], ...] = ()
+    #: Per-node minimal safe windows, derived from the per-node headroom
+    #: the mapping cells carried (the worst-offender slots of the result
+    #: record).  ``window_us`` above is the global answer -- the window
+    #: every shim in the topology can run at; these are the per-node
+    #: lower bounds behind it, so a heterogeneous deployment can size
+    #: the quiet nodes tighter than the hot ones.  Sorted worst-first.
+    node_windows_us: Tuple[Tuple[str, int], ...] = ()
 
     def __post_init__(self) -> None:
         if self.verified and self.invariant_clean is not True:
@@ -130,6 +137,7 @@ class WindowSuggestion:
                 {"window_us": w, "deficits": d, "errors": e}
                 for w, d, e in self.rounds
             ],
+            "node_windows_us": {n: w for n, w in self.node_windows_us},
         }
 
 
@@ -276,6 +284,14 @@ class EnvelopeReport:
                     f"suggested window_us = {s.window_us} -- NOT verified "
                     f"after {len(s.rounds)} round(s); see report JSON"
                 )
+            if s.node_windows_us:
+                parts.append("")
+                parts.append(render_table(
+                    "per-node window lower bounds (worst offenders; "
+                    "global suggestion covers the rest)",
+                    ["node", "suggested window (us)"],
+                    [[node, window] for node, window in s.node_windows_us],
+                ))
         if self.errors():
             parts.append(
                 f"verdict: FAILED -- {len(self.errors())} mapping cell(s) "
@@ -298,6 +314,10 @@ class EnvelopeReport:
                 "rollbacks": c.rollbacks,
                 "headroom": (
                     c.headroom.to_dict() if c.headroom is not None else None
+                ),
+                "node_headroom": (
+                    {n: hr.to_dict() for n, hr in sorted(c.node_headroom.items())}
+                    if c.node_headroom else None
                 ),
             }
 
@@ -371,7 +391,13 @@ class EnvelopeRunner:
         if boundary_jitter_us is not None:
             if boundary_jitter_us < 0:
                 raise ValueError("boundary jitter cannot be negative")
-            names = [f"{name}~j{boundary_jitter_us}us" for name in names]
+            # parenthesize specs that already carry jitter so the suffix
+            # reads as whole-composition jitter, not a stacked/ambiguous one
+            names = [
+                f"({name})~j{boundary_jitter_us}us" if "~j" in name
+                else f"{name}~j{boundary_jitter_us}us"
+                for name in names
+            ]
         for name in names:
             get_scenario(name)  # fail fast on unknown names
         self.scenarios: Tuple[str, ...] = tuple(dict.fromkeys(names))
@@ -487,6 +513,40 @@ class EnvelopeRunner:
             )
         return min(clean)
 
+    def suggest_node_windows(
+        self, cells: Sequence[CellResult]
+    ) -> Tuple[Tuple[str, int], ...]:
+        """Per-node minimal safe windows behind the global suggestion.
+
+        The pooled distribution answers "what window keeps *everything*
+        safe"; the per-node headroom riding the result record (the worst
+        offenders per cell) answers "which nodes actually needed it".
+        Same reach formula as :meth:`suggest_window`, applied to each
+        node's own distribution, taking the worst reach for a node
+        across all mapping cells.  Nodes whose deficits were never
+        measured (pruned before the deficit could be bounded) fall back
+        to their worst *measured* quantile -- the global suggestion
+        still covers them.  Worst-first, so the report leads with the
+        nodes that drive the global answer.
+        """
+        reaches: Dict[str, int] = {}
+        for c in cells:
+            if c.error is not None or not c.node_headroom:
+                continue
+            for node_id, hr in c.node_headroom.items():
+                if hr.clean:
+                    continue
+                reach = hr.window_us + hr.deficit_at(self.target_quantile)
+                if reach > reaches.get(node_id, 0):
+                    reaches[node_id] = reach
+        suggestions = {
+            node_id: _round_window(int(reach * (1.0 + self.margin)))
+            for node_id, reach in reaches.items()
+        }
+        return tuple(sorted(
+            suggestions.items(), key=lambda item: (-item[1], item[0])
+        ))
+
     def run(
         self,
         suggest: bool = True,
@@ -548,6 +608,7 @@ class EnvelopeRunner:
                 verified=verified,
                 invariant_clean=invariant_clean,
                 rounds=tuple(rounds),
+                node_windows_us=self.suggest_node_windows(report.cells),
             )
         report.wall_seconds = time.perf_counter() - start
         return report

@@ -28,7 +28,6 @@ from repro.core.checkpoint import (
     baseline_processing_model,
     strategy_by_name,
 )
-from repro.core.fingerprint import execution_fingerprint
 from repro.core.groups import BeaconService
 from repro.core.history import WindowHeadroomStats
 from repro.core.lockstep import LockstepCoordinator
@@ -69,6 +68,10 @@ class ProductionResult:
     #: Slack-deficit distribution pooled across every DEFINED-RB node
     #: (``defined`` mode only): the measured history-window headroom.
     headroom: Optional[WindowHeadroomStats] = None
+    #: Per-node headroom for the nodes that actually went late: the
+    #: envelope mapper uses these to recommend per-node windows instead
+    #: of letting one noisy node inflate everyone's.
+    node_headroom: Dict[str, WindowHeadroomStats] = field(default_factory=dict)
     comprehensive_log: Optional[ComprehensiveLog] = None
     wall_seconds: float = 0.0
 
@@ -312,16 +315,23 @@ def run_production(
     rollbacks = net.run_stats.total_rollbacks()
     effective_window: Optional[int] = None
     deficit_samples: List[int] = []
-    for node in net.nodes.values():
-        stack = node.stack
+    unmeasured = 0
+    node_headroom: Dict[str, WindowHeadroomStats] = {}
+    for node_id in sorted(net.nodes):
+        stack = net.nodes[node_id].stack
         if isinstance(stack, (DefinedShim, DdosStack)):
             late += stack.late_deliveries
         if isinstance(stack, DefinedShim):
             deficit_samples.extend(stack.deficit_samples_us)
+            unmeasured += stack.deficit_unmeasured
             w = stack.window_us()
             effective_window = w if effective_window is None else max(effective_window, w)
+            if stack.late_deliveries:
+                node_headroom[node_id] = stack.headroom_stats()
     headroom = (
-        WindowHeadroomStats.from_samples(effective_window, deficit_samples)
+        WindowHeadroomStats.from_samples(
+            effective_window, deficit_samples, unmeasured_count=unmeasured
+        )
         if effective_window is not None
         else None
     )
@@ -331,7 +341,7 @@ def run_production(
         mode=mode,
         network=net,
         recording=recorder.recording() if recorder is not None else None,
-        fingerprint=execution_fingerprint(logs),
+        fingerprint=net.execution_fingerprint(),
         logs=logs,
         convergence_times_us=convergence,
         unconverged_events=unconverged,
@@ -339,6 +349,7 @@ def run_production(
         late_deliveries=late,
         rollbacks=rollbacks,
         headroom=headroom,
+        node_headroom=node_headroom,
         comprehensive_log=comp_log,
         wall_seconds=time.perf_counter() - wall_start,
     )
@@ -380,7 +391,7 @@ def run_ls_replay(
     return ReplayResult(
         coordinator=coordinator,
         network=net,
-        fingerprint=execution_fingerprint(logs),
+        fingerprint=net.execution_fingerprint(),
         logs=logs,
         step_times_us=list(net.run_stats.step_times_us),
         cycles=cycles,

@@ -32,6 +32,8 @@ RULES: Dict[str, str] = {
     "STO202": "no in-place mutation of values read from a namespace",
     "STO203": "no restoring a snapshot token an earlier restore of an "
               "older token already discarded (LIFO stack discipline)",
+    "STO204": "no mutating a message payload after origination (the "
+              "fingerprint pipeline caches repr(payload) at send time)",
 }
 
 DEFAULT_BASELINE = "lint-baseline.json"

@@ -14,6 +14,14 @@ discipline.  These rules catch the syntactic violations:
   invalidated: ``restore(v)`` discards every token younger than ``v``
   (stack discipline), so straight-line code that restores an old token
   and then a younger one is dead wrong, not just stale.
+* STO204 -- mutating a message payload after origination (replay-critical
+  modules only): the fingerprint pipeline canonicalizes and caches
+  ``repr(payload)`` once when the message is originated
+  (``Message.canonical_payload_repr``), so any later in-place mutation
+  -- ``msg.payload.append(...)``, ``msg.payload[k] = v``, rebinding
+  ``msg.payload``, or mutating a name bound from ``.payload`` --
+  silently desynchronizes the cached identity tag from the live value.
+  ``self.payload = ...`` is exempt (origination code owns ``self``).
 
 Namespace receivers are identified per module (names bound from
 ``*.namespace(...)`` / ``Namespace(...)``); the runtime sanitizer
@@ -48,6 +56,8 @@ def check(ctx: FileContext) -> Iterator[Finding]:
     for scope in _function_scopes(ctx.tree):
         yield from _check_sto202(ctx, scope)
         yield from _check_sto203(ctx, scope)
+        if ctx.critical:
+            yield from _check_sto204(ctx, scope)
 
 
 def _function_scopes(tree: ast.AST) -> Iterator[ast.AST]:
@@ -281,3 +291,102 @@ def _check_sto203(ctx: FileContext, scope: ast.AST) -> Iterator[Finding]:
                 invalidated[(receiver, younger)] = node.lineno
             # the restored token itself stays live (pristine record)
     return
+
+
+# ----------------------------------------------------------------------
+# STO204: payload mutation after origination
+# ----------------------------------------------------------------------
+_PAYLOAD_ATTR = "payload"
+
+_STO204_MESSAGE = (
+    "payload mutated after origination: the fingerprint pipeline "
+    "canonicalizes repr(payload) once at send time and caches the "
+    "identity tag, so in-place changes desynchronize the cached tag "
+    "from the live value"
+)
+_STO204_HINT = (
+    "build the final (immutable) payload before originating the "
+    "message; derive changed messages with dataclasses.replace"
+)
+
+
+def _is_payload_attr(node: ast.AST) -> bool:
+    return isinstance(node, ast.Attribute) and node.attr == _PAYLOAD_ATTR
+
+
+def _payload_binding_names(stmt: ast.stmt) -> List[str]:
+    """Names bound from ``<expr>.payload`` (plain, annotated, or
+    tuple-unpacked -- unpacking aliases the payload's elements)."""
+    if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+        target, value = stmt.targets[0], stmt.value
+    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        target, value = stmt.target, stmt.value
+    else:
+        return []
+    if not _is_payload_attr(value):
+        return []
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        return [e.id for e in target.elts if isinstance(e, ast.Name)]
+    return []
+
+
+def _check_sto204(ctx: FileContext, scope: ast.AST) -> Iterator[Finding]:
+    #: name -> binding line for names aliasing a payload (or an element
+    #: of one); re-binding from anything else evicts, like STO202.
+    tainted: Dict[str, int] = {}
+    #: compound statements nest in _scope_statements, so every node
+    #: flags at most once
+    seen: set = set()
+
+    def aliases_payload(node: ast.AST) -> bool:
+        if _is_payload_attr(node):
+            return True
+        return isinstance(node, ast.Name) and node.id in tainted
+
+    def flag(node: ast.AST) -> Iterator[Finding]:
+        if id(node) not in seen:
+            seen.add(id(node))
+            yield ctx.finding(node, "STO204", _STO204_MESSAGE, _STO204_HINT)
+
+    for stmt in _scope_statements(scope):
+        bound = _payload_binding_names(stmt)
+        if bound:
+            for name in bound:
+                tainted[name] = stmt.lineno
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    tainted.pop(target.id, None)
+        if isinstance(stmt, ast.AugAssign):
+            target = stmt.target
+            base = target.value if isinstance(
+                target, (ast.Subscript, ast.Attribute)
+            ) else target
+            if aliases_payload(base) or _is_payload_attr(target):
+                yield from flag(stmt)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Subscript) and aliases_payload(
+                    target.value
+                ):
+                    yield from flag(stmt)
+                elif (
+                    _is_payload_attr(target)
+                    # origination code owns self: __init__-style
+                    # "self.payload = ..." is the origination itself
+                    and not (
+                        isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    )
+                ):
+                    yield from flag(stmt)
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATOR_METHODS
+                and aliases_payload(node.func.value)
+            ):
+                yield from flag(node)

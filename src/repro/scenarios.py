@@ -375,4 +375,8 @@ for _scenario in [
     _flap_storm, _crash_restart, _partition, _latency_jitter, _ddos_overload,
 ]:
     for _n in SCALE_SIZES:
-        _sweep.register(_scenario.sized(_n))
+        _sized = _sweep.register(_scenario.sized(_n))
+        # boundary-jitter variant of each sized builtin, keeping the
+        # catalogue closed under the grammar: "a@N~j1us" is registered
+        # exactly where "a@N" and "a~j1us" are
+        _sweep.register(_sweep.jittered(_sized, jitter_us=1))

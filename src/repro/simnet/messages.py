@@ -24,6 +24,7 @@ paper:
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field, replace
 from typing import Any, Optional, Tuple
 
@@ -114,6 +115,20 @@ class Annotation:
         )
 
 
+def intern_payload_repr(payload: Any) -> str:
+    """Canonical, interned repr of a message payload.
+
+    The repr is the payload's *identity* in delivery-log tags and output
+    ids, so it is computed exactly once per message -- at origination,
+    where the store contract freezes the payload -- and interned:
+    floods re-send the same few payloads thousands of times, and
+    rollback re-executions re-tag the same deliveries, so sharing one
+    string object per distinct payload keeps the hot loop allocation-free
+    and makes tag comparisons pointer-fast.
+    """
+    return sys.intern(repr(payload))
+
+
 #: Protocol name used by DEFINED control traffic (beacons, unsends, barrier
 #: messages).  Control messages are counted separately in the statistics
 #: because Figure 6a/8a report control overhead.
@@ -138,11 +153,31 @@ class Message:
     annotation: Optional[Annotation] = None
     size_bytes: int = 64
     sent_at_us: int = -1
+    #: Canonical payload repr, frozen at origination (see
+    #: :func:`intern_payload_repr`).  ``None`` until first requested;
+    #: :meth:`with_annotation` carries it across copies so re-annotated
+    #: relays never re-render it.
+    payload_repr: Optional[str] = field(default=None, repr=False, compare=False)
 
     @property
     def is_control(self) -> bool:
         """True for DEFINED's own control traffic (not application data)."""
         return self.protocol in CONTROL_PROTOCOLS
+
+    def canonical_payload_repr(self) -> str:
+        """The interned canonical payload repr, computed at most once.
+
+        Callers on the identity path (tags, output ids) must use this
+        instead of ``repr(self.payload)``: mutating a payload after
+        origination is a store-contract violation (lint rule STO204), and
+        the cache makes the freeze observable -- identity stays what it
+        was when the message entered the network.
+        """
+        text = self.payload_repr
+        if text is None:
+            text = intern_payload_repr(self.payload)
+            self.payload_repr = text
+        return text
 
     def with_annotation(self, annotation: Annotation) -> "Message":
         """Return a copy carrying ``annotation`` (messages are value-like)."""

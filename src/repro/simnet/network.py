@@ -381,6 +381,22 @@ class Network:
             out[node_id] = tuple(stack.delivery_log) if stack is not None else ()
         return out
 
+    def execution_fingerprint(self) -> str:
+        """Fingerprint the run from the live per-node logs.
+
+        Equal by construction to ``execution_fingerprint(self.delivery_logs())``
+        but feeds the stacks' :class:`~repro.core.fingerprint.DeliveryLog`
+        objects straight to the fold, so each node contributes its rolling
+        digest instead of re-encoding every entry at run end.
+        """
+        from repro.core.fingerprint import execution_fingerprint
+
+        logs = {
+            node_id: (node.stack.delivery_log if node.stack is not None else ())
+            for node_id, node in self.nodes.items()
+        }
+        return execution_fingerprint(logs)
+
     def run(self, until_us: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Convenience passthrough to the engine."""
         if until_us is None and max_events is None:

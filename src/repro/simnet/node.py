@@ -28,6 +28,7 @@ import abc
 import random
 from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
+from repro.core.fingerprint import DeliveryLog
 from repro.simnet.events import ExternalEvent
 from repro.simnet.messages import Message
 
@@ -47,10 +48,12 @@ class Stack(abc.ABC):
     def __init__(self, node: "Node") -> None:
         self.node = node
         #: Ordered log of events delivered to the daemon, as stable string
-        #: tags.  The tuple of per-node logs is the run's *fingerprint*:
+        #: tags.  The set of per-node logs is the run's *fingerprint*:
         #: two runs with equal fingerprints are the same execution in the
-        #: sense of Netzer and Miller's lemma (Lemma 1).
-        self.delivery_log: List[str] = []
+        #: sense of Netzer and Miller's lemma (Lemma 1).  The log keeps a
+        #: rolling per-node digest so fingerprinting at run end is O(1)
+        #: per node (see :class:`repro.core.fingerprint.DeliveryLog`).
+        self.delivery_log: DeliveryLog = DeliveryLog()
 
     # ------------------------------------------------------------------
     # app-facing API

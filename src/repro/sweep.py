@@ -162,12 +162,14 @@ class Scenario:
             )
         if n < 2:
             raise ValueError("sized() needs at least two nodes")
-        if "+" in self.name:
-            # composed scenario: the sizer re-composes per-component
-            # sized variants, whose result already carries the canonical
-            # "a@N+b@N" name and the matching seed-split streams -- so
-            # "(a+b)@N" is the same scenario as "a@N+b@N", fingerprints
-            # included
+        if "+" in self.name or "~j" in self.name:
+            # composed/jittered scenario: the sizer re-derives the sized
+            # variant itself -- compositions re-compose per-component
+            # sized variants, jitter wrappers size the base and re-wrap
+            # -- so the result already carries the canonical
+            # "a@N+b@N" / "a@N~jJus" name and the matching seed-split
+            # streams ("(a+b)@N" is the same scenario as "a@N+b@N",
+            # fingerprints included)
             return self.sizer(n)
         derived = self.sizer(n)
         sized_name = f"{self.name}@{n}"
@@ -233,24 +235,56 @@ _JITTER_SUFFIX = re.compile(r"^(?P<base>.+)~j(?P<us>\d+)us$")
 _SIZE_SUFFIX = re.compile(r"^(?P<base>.+)@(?P<n>\d+)$")
 
 #: ``(a+b)@<N>`` -- whole-composition sizing; expands to the
-#: per-component form (``a@N+b@N``), which it is identical to.
+#: per-component form (``a@N~j..+b@N``, size binding inside any
+#: per-component jitter), which it is identical to.
 _PAREN_SIZE = re.compile(r"^\((?P<base>[^()]+)\)@(?P<n>\d+)$")
+
+#: ``(a+b)`` / ``(a+b)@<N>`` -- an explicitly grouped composition.  A
+#: jitter suffix after the closing paren is unambiguously
+#: whole-composition jitter, even when components carry their own.
+_PAREN_SPEC = re.compile(r"^\((?P<base>[^()]+)\)(?:@(?P<n>\d+))?$")
+
+
+def _split_trailing_jitter(spec: str) -> "Tuple[str, Optional[int]]":
+    """Strip one trailing ``~j<N>us`` suffix; reject stacked suffixes.
+
+    ``a~j1us~j2us`` (and ``(a+b)~j1us~j2us``) are genuinely ambiguous --
+    jitter does not compose with itself on one target -- so they fail
+    here with a parse error instead of resolving to something surprising.
+    """
+    match = _JITTER_SUFFIX.match(spec)
+    if not match:
+        return spec, None
+    base = match.group("base")
+    if _JITTER_SUFFIX.match(base):
+        raise ValueError(
+            f"{spec!r} stacks more than one ~j<N>us jitter suffix on the "
+            "same target; jitter binds per component (a~j1us+b~j5us) or "
+            "once over the whole composition ((a+b)~j1us), never twice"
+        )
+    return base, int(match.group("us"))
 
 
 def _expand_paren_size(spec: str) -> str:
-    """Rewrite ``(a+b)@N`` as ``a@N+b@N``; other specs pass through."""
+    """Rewrite ``(a+b)@N`` as ``a@N+b@N``; other specs pass through.
+
+    The size binds *inside* any per-component jitter suffix:
+    ``(a~j1us+b)@40`` is ``a@40~j1us+b@40``.
+    """
     match = _PAREN_SIZE.match(spec)
     if not match:
         return spec
     n = match.group("n")
     parts = []
     for part in match.group("base").split("+"):
-        if _SIZE_SUFFIX.match(part):
+        base, jitter = _split_trailing_jitter(part)
+        if _SIZE_SUFFIX.match(base):
             raise ValueError(
                 f"component {part!r} already carries a size; "
                 f"cannot re-size the composition with @{n}"
             )
-        parts.append(f"{part}@{n}")
+        sized = f"{base}@{n}"
+        parts.append(f"{sized}~j{jitter}us" if jitter is not None else sized)
     return "+".join(parts)
 
 #: Cache for dynamically resolved (composed / sized / jittered)
@@ -260,44 +294,78 @@ _DYNAMIC_CACHE: Dict[str, Scenario] = {}
 
 
 def _resolve_component(part: str) -> Optional[Scenario]:
-    """Resolve one composition component: ``name`` or ``name@N``.
+    """Resolve one composition component: ``name[@N][~jJus]``.
 
-    Raises :class:`ValueError` when the base scenario exists but is not
-    size-parameterized (a clearer failure than "unknown scenario").
+    Raises :class:`ValueError` for malformed size/jitter combinations
+    (stacked jitter, size outside the jitter suffix, base not
+    size-parameterized) -- clearer failures than "unknown scenario".
+    Returns ``None`` for unknown base names.
     """
     if part in _REGISTRY:
         return _REGISTRY[part]
+    base, jitter = _split_trailing_jitter(part)
     size = None
-    size_match = _SIZE_SUFFIX.match(part)
-    if size_match:
-        part, size = size_match.group("base"), int(size_match.group("n"))
-    part = part if part in _REGISTRY else part.replace("_", "-")
-    if part not in _REGISTRY:
+    if base not in _REGISTRY:
+        size_match = _SIZE_SUFFIX.match(base)
+        if size_match:
+            inner = size_match.group("base")
+            if _JITTER_SUFFIX.match(inner):
+                raise ValueError(
+                    f"component {part!r}: the size binds inside the jitter "
+                    "suffix -- write 'name@N~jJus', not 'name~jJus@N'"
+                )
+            base, size = inner, int(size_match.group("n"))
+    base = base if base in _REGISTRY else base.replace("_", "-")
+    if base not in _REGISTRY:
         return None
-    scenario = _REGISTRY[part]
-    return scenario.sized(size) if size is not None else scenario
+    scenario = _REGISTRY[base]
+    if size is not None:
+        scenario = scenario.sized(size)
+    if jitter is not None:
+        scenario = jittered(scenario, jitter_us=jitter)
+    return scenario
 
 
 def _resolve_dynamic(name: str) -> Optional[Scenario]:
     """Resolve a composed/sized/jittered scenario name against the registry.
 
-    Grammar: ``spec := base ['~j' N 'us']; base := comp ('+' comp)* |
-    '(' comp ('+' comp)* ')@' N; comp := name ['@' N]`` -- a size suffix
-    applies per component, ``(a+b)@N`` sizes the whole composition (and
-    is identical to ``a@N+b@N``), the jitter suffix applies to the whole
-    composition.  Unknown component names make
-    the whole resolution fail (returns ``None``).  Resolution only reads
-    the registry, so any process that can import the builtin catalogue
-    can resolve the same name to the same scenario, regardless of the
-    multiprocessing start method.
+    Grammar: ``spec := comps ['~j' J 'us'] | '(' comps ')' ['@' N]
+    ['~j' J 'us']; comps := comp ('+' comp)*; comp := name ['@' N]
+    ['~j' J 'us']`` -- a size suffix applies per component (binding
+    *inside* that component's jitter suffix), ``(a+b)@N`` sizes the
+    whole composition (identical to ``a@N+b@N``), and jitter binds per
+    component: ``a~j1us+b~j5us`` jitters each component's schedule
+    before the merge.  A single *trailing* suffix on an unparenthesized
+    composition (``a+b~j1us``) keeps its historical whole-composition
+    meaning -- unless another component carries its own jitter, in which
+    case it binds to the final component like the others.
+    Whole-composition jitter over per-component jitter must be spelled
+    with parens (``(a~j1us+b)~j5us``); stacked suffixes
+    (``(a+b)~j1us~j2us``) are rejected with a parse error.  Unknown
+    component names make the whole resolution fail (returns ``None``).
+    Resolution only reads the registry, so any process that can import
+    the builtin catalogue can resolve the same name to the same
+    scenario, regardless of the multiprocessing start method.
     """
     cached = _DYNAMIC_CACHE.get(name)
     if cached is not None:
         return cached
-    jitter_match = _JITTER_SUFFIX.match(name)
-    base_spec = jitter_match.group("base") if jitter_match else name
-    base_spec = _expand_paren_size(base_spec)
-    parts = base_spec.split("+")
+    spec, trailing = _split_trailing_jitter(name)
+    paren = _PAREN_SPEC.match(spec)
+    if paren:
+        inner, n = paren.group("base"), paren.group("n")
+        spec = _expand_paren_size(f"({inner})@{n}") if n else inner
+    else:
+        spec = _expand_paren_size(spec)
+    parts = spec.split("+")
+    if (
+        trailing is not None and paren is None and len(parts) > 1
+        and any(_JITTER_SUFFIX.match(p) for p in parts)
+    ):
+        # mixed form "a~j1us+b~j5us": once any component carries its own
+        # jitter, the trailing suffix binds to the final component too
+        parts[-1] = f"{parts[-1]}~j{trailing}us"
+        trailing = None
     components = []
     for part in parts:
         component = _resolve_component(part)
@@ -311,34 +379,64 @@ def _resolve_dynamic(name: str) -> Optional[Scenario]:
         scenario = compose(*components)
     else:
         scenario = components[0]
-    if jitter_match:
-        scenario = jittered(scenario, jitter_us=int(jitter_match.group("us")))
+    if trailing is not None:
+        jitter_name = None
+        if any(_JITTER_SUFFIX.match(p) for p in parts):
+            # keep the parens in the fuzz name: "a~j1us+b~j5us" would
+            # re-parse as per-component jitter, a different scenario
+            jitter_name = f"({scenario.name})~j{trailing}us"
+        scenario = jittered(scenario, jitter_us=trailing, name=jitter_name)
     _DYNAMIC_CACHE[name] = scenario
     return scenario
+
+
+def _canonical_component(part: str) -> str:
+    """Canonical spelling of one component: registered base spelling
+    (underscores normalize to hyphens) with its ``@N`` / ``~jJus``
+    suffixes re-attached.  Unresolvable bases pass through unchanged."""
+    if part in _REGISTRY:
+        return part
+    base, jitter = _split_trailing_jitter(part)
+    suffix = f"~j{jitter}us" if jitter is not None else ""
+    size = ""
+    if base not in _REGISTRY:
+        size_match = _SIZE_SUFFIX.match(base)
+        if size_match and not _JITTER_SUFFIX.match(size_match.group("base")):
+            base, size = size_match.group("base"), f"@{size_match.group('n')}"
+    if base not in _REGISTRY and base.replace("_", "-") in _REGISTRY:
+        base = base.replace("_", "-")
+    return base + size + suffix
 
 
 def canonical_scenario_name(name: str) -> str:
     """The canonical spelling of a scenario spec: each component takes
     its registered spelling (underscores normalize to hyphens), ``@N``
-    size and ``~jNus`` jitter suffixes are kept.  Unresolvable parts pass
-    through unchanged so unknown names still fail later with the full
-    lookup error."""
+    size and ``~jNus`` jitter suffixes are kept (per-component jitter
+    stays on its component; parens survive only where they disambiguate
+    whole-composition jitter from per-component jitter).  Unresolvable
+    parts pass through unchanged so unknown names still fail later with
+    the full lookup error; malformed suffix stacks fail here."""
     _ensure_builtins()
-    match = _JITTER_SUFFIX.match(name)
-    base = match.group("base") if match else name
-    base = _expand_paren_size(base)
-    parts = []
-    for part in base.split("+"):
-        suffix = ""
-        if part not in _REGISTRY:
-            size_match = _SIZE_SUFFIX.match(part)
-            if size_match:
-                part, suffix = size_match.group("base"), f"@{size_match.group('n')}"
-        if part not in _REGISTRY and part.replace("_", "-") in _REGISTRY:
-            part = part.replace("_", "-")
-        parts.append(part + suffix)
+    spec, trailing = _split_trailing_jitter(name)
+    paren = _PAREN_SPEC.match(spec)
+    if paren:
+        inner, n = paren.group("base"), paren.group("n")
+        spec = _expand_paren_size(f"({inner})@{n}") if n else inner
+    else:
+        spec = _expand_paren_size(spec)
+    parts = [_canonical_component(part) for part in spec.split("+")]
+    if (
+        trailing is not None and paren is None and len(parts) > 1
+        and any(_JITTER_SUFFIX.match(p) for p in parts)
+    ):
+        parts[-1] = f"{parts[-1]}~j{trailing}us"
+        trailing = None
     canonical = "+".join(parts)
-    return f"{canonical}~j{match.group('us')}us" if match else canonical
+    if trailing is None:
+        return canonical
+    if any(_JITTER_SUFFIX.match(p) for p in parts):
+        return f"({canonical})~j{trailing}us"
+    return f"{canonical}~j{trailing}us"
 
 
 def sized_spec(name: str, n: int) -> str:
@@ -346,20 +444,34 @@ def sized_spec(name: str, n: int) -> str:
 
     ``sized_spec("flap_storm+partition~j2us", 40)`` is
     ``"flap-storm@40+partition@40~j2us"`` -- the whole composition
-    re-scaled onto 40-node topologies.  Components that already carry a
-    size are rejected (re-sizing would be ambiguous)."""
+    re-scaled onto 40-node topologies.  The size binds *inside* any
+    per-component jitter suffix (``a~j1us`` sizes to ``a@40~j1us``), so
+    every valid jittered spec stays valid under sizing.  Components that
+    already carry a size are rejected (re-sizing would be ambiguous)."""
     canonical = canonical_scenario_name(name)
-    match = _JITTER_SUFFIX.match(canonical)
-    base = match.group("base") if match else canonical
+    spec, trailing = _split_trailing_jitter(canonical)
+    paren = _PAREN_SPEC.match(spec)
+    if paren:
+        if paren.group("n"):
+            raise ValueError(
+                f"composition {spec!r} already carries a size; cannot re-size"
+            )
+        spec = paren.group("base")
     parts = []
-    for part in base.split("+"):
-        if _SIZE_SUFFIX.match(part):
+    for part in spec.split("+"):
+        base, jitter = _split_trailing_jitter(part)
+        if _SIZE_SUFFIX.match(base):
             raise ValueError(
                 f"component {part!r} already carries a size; cannot re-size"
             )
-        parts.append(f"{part}@{n}")
+        sized = f"{base}@{n}"
+        parts.append(f"{sized}~j{jitter}us" if jitter is not None else sized)
     sized = "+".join(parts)
-    return f"{sized}~j{match.group('us')}us" if match else sized
+    if trailing is None:
+        return sized
+    if paren:
+        return f"({sized})~j{trailing}us"
+    return f"{sized}~j{trailing}us"
 
 
 def get_scenario(name: str) -> Scenario:
@@ -514,7 +626,15 @@ def jittered(
     hold regardless.
     """
     scenario = get_scenario(base) if isinstance(base, str) else base
-    fuzz_name = name or f"{scenario.name}~j{jitter_us}us"
+    if name is not None:
+        fuzz_name = name
+    elif "~j" in scenario.name:
+        # parenthesize so the name re-parses as whole-composition jitter:
+        # "a~j1us+b~j5us" would re-resolve as per-component jitter, a
+        # different scenario
+        fuzz_name = f"({scenario.name})~j{jitter_us}us"
+    else:
+        fuzz_name = f"{scenario.name}~j{jitter_us}us"
     base_schedule = scenario.schedule
 
     def schedule(graph: TopologyGraph, seed: int) -> EventSchedule:
@@ -525,6 +645,17 @@ def jittered(
             tag=f"fuzz|{fuzz_name}",
         )
 
+    # sizing happens *inside* the jitter wrapper: "a~j1us" sizes to
+    # "a@20~j1us" by sizing the base and re-wrapping, so the grammar is
+    # closed under @N and a sized jittered spec can never silently
+    # resolve to an unjittered scenario
+    sizer: Optional[Callable[[int], Scenario]] = None
+    if scenario.sizer is not None:
+        def sizer(n: int) -> Scenario:
+            return jittered(
+                scenario.sized(n), jitter_us=jitter_us, boundary_us=boundary_us
+            )
+
     return replace(
         scenario,
         name=fuzz_name,
@@ -533,10 +664,7 @@ def jittered(
             f"boundaries +/-{jitter_us}us"
         ),
         schedule=schedule,
-        # sizing must happen *inside* the jitter wrapper ("a@20~j1us");
-        # inheriting the sizer would let "a~j1us@20" silently resolve to
-        # an unjittered sized scenario
-        sizer=None,
+        sizer=sizer,
     )
 
 
@@ -897,6 +1025,10 @@ class CellResult:
     #: slack-deficit distribution plus the *effective* window the run
     #: used -- the envelope mapper's raw material.
     headroom: Optional[WindowHeadroomStats] = None
+    #: Per-node headroom for nodes that went late (worst offenders only
+    #: when streamed; see ``repro.sweep_stream.NODE_HEADROOM_SLOTS``).
+    #: Keys are node ids; lets the envelope recommend per-node windows.
+    node_headroom: Optional[Dict[str, WindowHeadroomStats]] = None
     wall_seconds: float = 0.0
     error: Optional[str] = None
 
@@ -1025,6 +1157,7 @@ def run_cell(cell: SweepCell) -> CellResult:
             deliveries=sum(len(log) for log in result.logs.values()),
             recording_bytes=recording_bytes,
             headroom=result.headroom,
+            node_headroom=result.node_headroom or None,
             wall_seconds=time.perf_counter() - start,
         )
     except Exception as exc:  # pragma: no cover - exercised via error cells
@@ -1067,12 +1200,21 @@ def _spawn_portable(name: str) -> bool:
     is a composed/sized/jittered spec over builtin components."""
     if name in _BUILTIN_NAMES:
         return True
-    match = _JITTER_SUFFIX.match(name)
-    base = match.group("base") if match else name
+    try:
+        spec, _ = _split_trailing_jitter(name)
+    except ValueError:
+        return False  # malformed: resolution will fail loudly anyway
+    paren = _PAREN_SPEC.match(spec)
+    if paren:
+        spec = paren.group("base")
 
     def portable_part(part: str) -> bool:
         if part in _BUILTIN_NAMES:
             return True
+        try:
+            part, _ = _split_trailing_jitter(part)
+        except ValueError:
+            return False
         size_match = _SIZE_SUFFIX.match(part)
         if size_match:
             part = size_match.group("base")
@@ -1081,7 +1223,7 @@ def _spawn_portable(name: str) -> bool:
             or part.replace("_", "-") in _BUILTIN_NAMES
         )
 
-    return all(portable_part(part) for part in base.split("+"))
+    return all(portable_part(part) for part in spec.split("+"))
 
 
 # ----------------------------------------------------------------------
@@ -1270,6 +1412,10 @@ class SweepReport:
                 "replay_fingerprint": c.replay_fingerprint,
                 "headroom": (
                     c.headroom.to_dict() if c.headroom is not None else None
+                ),
+                "node_headroom": (
+                    {n: hr.to_dict() for n, hr in sorted(c.node_headroom.items())}
+                    if c.node_headroom else None
                 ),
             }
 

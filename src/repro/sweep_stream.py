@@ -52,6 +52,17 @@ _DATA_OFFSET = 64
 _FP_BYTES = 64     # sha256 hexdigest length (see repro.core.fingerprint)
 _ERROR_BYTES = 256
 
+#: Per-node headroom slots riding the fixed-width record: the *worst*
+#: offenders by max deficit (then node id, for determinism).  A cell
+#: with more late nodes than slots streams only the worst ones -- the
+#: envelope's per-node suggestions cover exactly the nodes that would
+#: otherwise inflate the global recommendation, and everything that did
+#: not make a slot is clean enough for the global number.
+NODE_HEADROOM_SLOTS = 8
+_NODE_ID_BYTES = 24
+#: node id + late count + unmeasured count + window + max/p50/p90/p99.
+_NODE_SLOT = struct.Struct(f"<{_NODE_ID_BYTES}sIIQQQQQ")
+
 #: One streamed cell result: index + flags + counters + fingerprints +
 #: (truncated) error text.  ``<`` keeps the layout packed and
 #: platform-independent.
@@ -62,7 +73,8 @@ RECORD = struct.Struct(
     "B"                  # replay fingerprint length
     "x"                  # pad
     "H"                  # error length (post-truncation, bytes)
-    "xx"                 # pad
+    "B"                  # per-node headroom slots used
+    "x"                  # pad
     "I"                  # late deliveries
     "I"                  # rollbacks
     "Q"                  # deliveries
@@ -70,10 +82,12 @@ RECORD = struct.Struct(
     "d"                  # wall seconds
     "Q"                  # headroom: effective window (us)
     "I"                  # headroom: late count
+    "I"                  # headroom: unmeasured count
     "Q"                  # headroom: max deficit (us)
     "Q"                  # headroom: p50 deficit (us)
     "Q"                  # headroom: p90 deficit (us)
     "Q"                  # headroom: p99 deficit (us)
+    f"{NODE_HEADROOM_SLOTS * _NODE_SLOT.size}s"  # per-node headroom slots
     f"{_FP_BYTES}s"      # fingerprint (utf-8 hex)
     f"{_FP_BYTES}s"      # replay fingerprint (utf-8 hex)
     f"{_ERROR_BYTES}s"   # error message (utf-8, truncated)
@@ -103,6 +117,46 @@ def _fp_bytes(fingerprint: Optional[str], field: str) -> bytes:
     return raw
 
 
+def _encode_node_headroom(node_headroom) -> Tuple[int, bytes]:
+    """Pack the worst :data:`NODE_HEADROOM_SLOTS` nodes into slot bytes."""
+    if not node_headroom:
+        return 0, b"\x00" * (NODE_HEADROOM_SLOTS * _NODE_SLOT.size)
+    worst = sorted(
+        node_headroom.items(),
+        key=lambda item: (-item[1].max_deficit_us, -item[1].late_count, item[0]),
+    )[:NODE_HEADROOM_SLOTS]
+    chunks = []
+    for node_id, hr in worst:
+        raw_id = node_id.encode("utf-8")[:_NODE_ID_BYTES]
+        chunks.append(_NODE_SLOT.pack(
+            raw_id, hr.late_count, hr.unmeasured_count, hr.window_us,
+            hr.max_deficit_us, hr.p50_deficit_us, hr.p90_deficit_us,
+            hr.p99_deficit_us,
+        ))
+    block = b"".join(chunks)
+    block += b"\x00" * (NODE_HEADROOM_SLOTS * _NODE_SLOT.size - len(block))
+    return len(worst), block
+
+
+def _decode_node_headroom(count: int, block: bytes) -> Dict[str, WindowHeadroomStats]:
+    out: Dict[str, WindowHeadroomStats] = {}
+    for i in range(count):
+        raw_id, late, unmeasured, window, mx, p50, p90, p99 = (
+            _NODE_SLOT.unpack_from(block, i * _NODE_SLOT.size)
+        )
+        node_id = raw_id.rstrip(b"\x00").decode("utf-8", errors="replace")
+        out[node_id] = WindowHeadroomStats(
+            window_us=window,
+            late_count=late,
+            max_deficit_us=mx,
+            p50_deficit_us=p50,
+            p90_deficit_us=p90,
+            p99_deficit_us=p99,
+            unmeasured_count=unmeasured,
+        )
+    return out
+
+
 def encode_result(index: int, result) -> bytes:
     """Pack a :class:`~repro.sweep.CellResult` payload into one record."""
     flags = 0
@@ -125,6 +179,9 @@ def encode_result(index: int, result) -> bytes:
     headroom = getattr(result, "headroom", None)
     if headroom is not None:
         flags |= _F_HEADROOM_PRESENT
+    node_count, node_block = _encode_node_headroom(
+        getattr(result, "node_headroom", None)
+    )
     fingerprint = _fp_bytes(result.fingerprint, "fingerprint")
     replay = b""
     if result.replay_fingerprint is not None:
@@ -136,6 +193,7 @@ def encode_result(index: int, result) -> bytes:
         len(fingerprint),
         len(replay),
         len(error),
+        node_count,
         result.late_deliveries,
         result.rollbacks,
         result.deliveries,
@@ -143,10 +201,12 @@ def encode_result(index: int, result) -> bytes:
         result.wall_seconds,
         headroom.window_us if headroom is not None else 0,
         headroom.late_count if headroom is not None else 0,
+        headroom.unmeasured_count if headroom is not None else 0,
         headroom.max_deficit_us if headroom is not None else 0,
         headroom.p50_deficit_us if headroom is not None else 0,
         headroom.p90_deficit_us if headroom is not None else 0,
         headroom.p99_deficit_us if headroom is not None else 0,
+        node_block,
         fingerprint,
         replay,
         error,
@@ -161,6 +221,7 @@ def decode_record(raw: bytes) -> Tuple[int, Dict]:
         fp_len,
         replay_len,
         error_len,
+        node_count,
         late,
         rollbacks,
         deliveries,
@@ -168,10 +229,12 @@ def decode_record(raw: bytes) -> Tuple[int, Dict]:
         wall_seconds,
         hr_window,
         hr_late,
+        hr_unmeasured,
         hr_max,
         hr_p50,
         hr_p90,
         hr_p99,
+        node_block,
         fingerprint,
         replay,
         error,
@@ -184,6 +247,7 @@ def decode_record(raw: bytes) -> Tuple[int, Dict]:
             p50_deficit_us=hr_p50,
             p90_deficit_us=hr_p90,
             p99_deficit_us=hr_p99,
+            unmeasured_count=hr_unmeasured,
         )
         if flags & _F_HEADROOM_PRESENT
         else None
@@ -212,6 +276,7 @@ def decode_record(raw: bytes) -> Tuple[int, Dict]:
             recording_bytes if flags & _F_RECORDING_PRESENT else None
         ),
         "headroom": headroom,
+        "node_headroom": _decode_node_headroom(node_count, node_block) or None,
         "wall_seconds": wall_seconds,
         "error": (
             error[:error_len].decode("utf-8", errors="replace")

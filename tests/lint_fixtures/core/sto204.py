@@ -1,0 +1,58 @@
+"""Known-bad fixture: STO204 payload mutation after origination."""
+
+
+def bad_mutator_call(msg):
+    msg.payload.append("route")  # lint-expect: STO204
+
+
+def bad_subscript_assign(msg):
+    msg.payload["metric"] = 3  # lint-expect: STO204
+
+
+def bad_attribute_rebind(msg):
+    msg.payload = ("late", "edit")  # lint-expect: STO204
+
+
+def bad_augassign(msg):
+    msg.payload += ("suffix",)  # lint-expect: STO204
+
+
+def bad_tainted_name(msg):
+    body = msg.payload
+    body.update({"seq": 9})  # lint-expect: STO204
+
+
+def bad_tainted_unpack(msg):
+    _tag, vector = msg.payload
+    vector.sort()  # lint-expect: STO204
+
+
+def bad_tainted_subscript(msg):
+    body = msg.payload
+    body[0] = "edited"  # lint-expect: STO204
+
+
+class Origination:
+    def __init__(self, payload):
+        # negative control: origination code owns self -- this IS the
+        # origination the rule protects
+        self.payload = payload
+
+
+def good_read_only(msg):
+    # negative control: reads and unpacks never fire
+    _tag, sender, vector = msg.payload
+    return [metric for _dest, metric in vector if metric < 16]
+
+
+def good_rebound_name(msg):
+    # negative control: the name is re-bound to fresh data first
+    body = msg.payload
+    body = dict(body)
+    body["seq"] = 9
+    return body
+
+
+def good_replace(msg, replace):
+    # negative control: derived messages go through dataclasses.replace
+    return replace(msg, payload=msg.payload + ("suffix",))

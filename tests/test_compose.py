@@ -172,6 +172,72 @@ class TestDynamicResolution:
         assert canonical_scenario_name("heat_death") == "heat_death"
 
 
+class TestPerComponentJitter:
+    """``a~j1us+b~j5us`` jitters each component *before* the merge;
+    whole-composition jitter keeps its trailing-suffix spelling (or the
+    explicit paren form); stacked suffixes are parse errors."""
+
+    def test_each_component_gets_its_own_jitter(self):
+        scenario = get_scenario("flap-storm~j1us+partition~j5us")
+        assert scenario.name == "flap-storm~j1us+partition~j5us"
+        graph = scenario.topology(3)
+        merged = scenario.schedule(graph, 3).sorted()
+        # the merged schedule is the union of the two jittered component
+        # schedules, each run on its seed-split stream -- i.e. jitter
+        # applied per component before the merge, not once after it
+        comp_a = get_scenario("flap-storm~j1us")
+        comp_b = get_scenario("partition~j5us")
+        split_a = sweep_mod.seed_split(
+            3, "flap-storm~j1us+partition~j5us#0:flap-storm~j1us")
+        split_b = sweep_mod.seed_split(
+            3, "flap-storm~j1us+partition~j5us#1:partition~j5us")
+        expected = comp_a.schedule(graph, split_a).merged(
+            comp_b.schedule(graph, split_b)
+        ).sorted()
+        assert merged == expected
+
+    def test_trailing_suffix_stays_whole_composition(self):
+        # back-compat: with no per-component jitter anywhere, a trailing
+        # suffix means what it always did
+        scenario = get_scenario("flap-storm+partition~j2us")
+        assert scenario.name == "flap-storm+partition~j2us"
+
+    def test_mixed_form_binds_trailing_jitter_to_final_component(self):
+        scenario = get_scenario("flap-storm~j1us+partition~j5us")
+        paren = get_scenario("(flap-storm~j1us+partition)~j5us")
+        assert paren.name == "(flap-storm~j1us+partition)~j5us"
+        assert scenario.name != paren.name  # different scenarios
+
+    def test_paren_spelling_is_whole_composition_jitter(self):
+        plain = get_scenario("(flap-storm+partition)~j2us")
+        # without inner jitter the parens are redundant: same scenario
+        assert plain is get_scenario("flap-storm+partition~j2us") or (
+            plain.name == "flap-storm+partition~j2us"
+        )
+
+    @pytest.mark.parametrize("bad", [
+        "(flap-storm+partition)~j1us~j2us",
+        "flap-storm~j1us~j2us",
+        "flap-storm+partition~j1us~j2us",
+    ])
+    def test_stacked_jitter_suffixes_rejected(self, bad):
+        with pytest.raises(ValueError, match="stacks more than one"):
+            get_scenario(bad)
+
+    def test_sized_spec_closes_the_grammar_under_sizes(self):
+        from repro.sweep import sized_spec
+
+        spec = sized_spec("flap-storm~j1us+partition", 20)
+        assert spec == "flap-storm@20~j1us+partition@20"
+        assert get_scenario(spec).name == spec
+
+    def test_per_component_jitter_cell_upholds_theorem1(self):
+        result = run_cell(SweepCell(
+            "latency-jitter~j1us+partition~j3us", seed=2, mode="defined"))
+        assert result.error is None
+        assert result.invariant_ok is True
+
+
 class TestJittered:
     def test_jittered_schedule_lands_on_boundaries(self):
         scenario = get_scenario("flap-storm~j1us")

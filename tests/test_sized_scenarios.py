@@ -105,11 +105,22 @@ class TestSizedDerivation:
         with pytest.raises(ValueError, match="not size-parameterized"):
             get_scenario(f"{name}@20")
 
-    def test_jittered_variants_refuse_to_size(self):
-        """Sizing must happen inside the jitter wrapper ("a@20~j1us");
-        "a~j1us@20" would otherwise silently drop the jitter."""
-        with pytest.raises(ValueError, match="not size-parameterized"):
+    def test_jittered_size_suffix_order_rejected_with_hint(self):
+        """Sizing binds inside the jitter wrapper ("a@20~j1us"); the
+        reversed spelling is rejected with a rewrite hint instead of
+        silently dropping the jitter."""
+        with pytest.raises(ValueError, match="size binds inside the jitter"):
             get_scenario("flap-storm~j1us@20")
+
+    def test_jittered_variants_size_inside_the_wrapper(self):
+        """The grammar is closed under @N: sizing a jittered scenario
+        sizes the base and re-wraps, producing the canonical
+        "a@N~jJus" -- never a silently unjittered sized scenario."""
+        sized = get_scenario("flap-storm~j1us").sized(20)
+        assert sized.name == "flap-storm@20~j1us"
+        assert sized is not get_scenario("flap-storm@20")
+        # and the spelled-out canonical form resolves to the same family
+        assert get_scenario("flap-storm@20~j1us").name == sized.name
 
     def test_sized_scenarios_refuse_to_resize(self):
         with pytest.raises(ValueError, match="already size-parameterized"):

@@ -65,6 +65,7 @@ class TestRecordCodec:
             "deliveries": 12345,
             "recording_bytes": 4096,
             "headroom": _HEADROOM,
+            "node_headroom": None,
             "wall_seconds": 0.25,
             "error": None,
         }
@@ -73,6 +74,57 @@ class TestRecordCodec:
         raw = encode_result(0, _result(headroom=None))
         _, payload = decode_record(raw)
         assert payload["headroom"] is None
+
+    def test_round_trip_node_headroom(self):
+        per_node = {
+            "r1": WindowHeadroomStats(
+                window_us=150_000, late_count=5, max_deficit_us=216_276,
+                p50_deficit_us=100_000, p90_deficit_us=200_000,
+                p99_deficit_us=216_276,
+            ),
+            "r2": WindowHeadroomStats(
+                window_us=150_000, late_count=2, max_deficit_us=44_529,
+                p50_deficit_us=44_529, p90_deficit_us=44_529,
+                p99_deficit_us=44_529, unmeasured_count=1,
+            ),
+        }
+        raw = encode_result(3, _result(node_headroom=per_node))
+        _, payload = decode_record(raw)
+        assert payload["node_headroom"] == per_node
+
+    def test_node_headroom_keeps_worst_offenders_when_truncating(self):
+        from repro.sweep_stream import NODE_HEADROOM_SLOTS
+
+        per_node = {
+            f"node-{i:02d}": WindowHeadroomStats(
+                window_us=150_000, late_count=1, max_deficit_us=1_000 * i,
+                p50_deficit_us=1_000 * i, p90_deficit_us=1_000 * i,
+                p99_deficit_us=1_000 * i,
+            )
+            for i in range(NODE_HEADROOM_SLOTS + 4)
+        }
+        raw = encode_result(0, _result(node_headroom=per_node))
+        _, payload = decode_record(raw)
+        decoded = payload["node_headroom"]
+        assert len(decoded) == NODE_HEADROOM_SLOTS
+        # worst max-deficit nodes survive the fixed-slot truncation
+        kept = sorted(decoded)
+        expect = sorted(
+            sorted(per_node, key=lambda n: -per_node[n].max_deficit_us)
+            [:NODE_HEADROOM_SLOTS]
+        )
+        assert kept == expect
+
+    def test_unmeasured_count_round_trips_in_pooled_headroom(self):
+        hr = WindowHeadroomStats(
+            window_us=150_000, late_count=9, max_deficit_us=216_276,
+            p50_deficit_us=144_529, p90_deficit_us=144_533,
+            p99_deficit_us=216_276, unmeasured_count=3,
+        )
+        raw = encode_result(0, _result(headroom=hr))
+        _, payload = decode_record(raw)
+        assert payload["headroom"] == hr
+        assert payload["headroom"].unmeasured_count == 3
 
     def test_round_trip_none_fields(self):
         raw = encode_result(0, _result(
