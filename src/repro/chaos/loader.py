@@ -1,0 +1,154 @@
+"""Parse chaos scenario files and anchor validation issues to file:line.
+
+YAML is a strict superset of JSON, so ``.yaml`` / ``.yml`` / ``.json``
+documents all go through the same parser.  The file is parsed twice:
+``yaml.safe_load`` for the data and ``yaml.compose`` for the node tree,
+whose start marks give every document path a (line, column) -- that is
+what turns a schema issue into ``scenario.yaml:7:3: ...``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+import yaml
+
+from repro.chaos.schema import validate_document
+
+Marks = Dict[Tuple[Any, ...], Tuple[int, int]]
+
+
+@dataclass(frozen=True)
+class FileIssue:
+    """One validation failure, anchored to a file position."""
+
+    line: int
+    col: int
+    message: str
+
+
+class ScenarioFileError(ValueError):
+    """A scenario file failed to parse or validate.
+
+    ``str()`` renders one ``path:line:col: message`` pointer per issue,
+    the format editors and CI logs hyperlink.
+    """
+
+    def __init__(self, path: str, issues: List[FileIssue]) -> None:
+        self.path = path
+        self.issues = list(issues)
+        super().__init__(
+            "\n".join(
+                f"{path}:{issue.line}:{issue.col}: {issue.message}"
+                for issue in self.issues
+            )
+        )
+
+
+def _collect_marks(node: yaml.Node, path: Tuple, out: Marks) -> None:
+    out.setdefault(path, (node.start_mark.line + 1, node.start_mark.column + 1))
+    if isinstance(node, yaml.MappingNode):
+        for key_node, value_node in node.value:
+            key = getattr(key_node, "value", None)
+            if not isinstance(key, str):
+                continue
+            child = path + (key,)
+            # anchor the child at its *value* node, falling back to the
+            # key's position for null/short values on the same line
+            out.setdefault(
+                child, (key_node.start_mark.line + 1, key_node.start_mark.column + 1)
+            )
+            _collect_marks(value_node, child, out)
+    elif isinstance(node, yaml.SequenceNode):
+        for i, item in enumerate(node.value):
+            _collect_marks(item, path + (i,), out)
+
+
+def parse_file(path: str) -> Tuple[Any, Marks]:
+    """Parse ``path`` into (document, marks).
+
+    Raises :class:`ScenarioFileError` for unreadable or unparseable
+    files; structural validity is the validator's job, not the parser's.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise ScenarioFileError(
+            path, [FileIssue(1, 1, f"cannot read scenario file: {exc}")]
+        ) from exc
+    try:
+        doc = yaml.safe_load(text)
+        tree = yaml.compose(text)
+    except yaml.YAMLError as exc:
+        mark = getattr(exc, "problem_mark", None)
+        line = mark.line + 1 if mark is not None else 1
+        col = mark.column + 1 if mark is not None else 1
+        problem = getattr(exc, "problem", None) or str(exc)
+        raise ScenarioFileError(
+            path, [FileIssue(line, col, f"not parseable as YAML/JSON: {problem}")]
+        ) from exc
+    marks: Marks = {}
+    if tree is not None:
+        _collect_marks(tree, (), marks)
+    return doc, marks
+
+
+def _locate(path_tuple: Tuple, marks: Marks) -> Tuple[int, int]:
+    """Best (line, col) for a document path: the deepest marked prefix."""
+    probe = tuple(path_tuple)
+    while probe:
+        if probe in marks:
+            return marks[probe]
+        probe = probe[:-1]
+    return marks.get((), (1, 1))
+
+
+def validate_file(path: str) -> List[FileIssue]:
+    """Validate one scenario file; empty list means it compiles.
+
+    Parse failures come back as issues too (not exceptions), so callers
+    like the lint engine report every kind of breakage uniformly.
+    """
+    try:
+        doc, marks = parse_file(path)
+    except ScenarioFileError as exc:
+        return exc.issues
+    issues = validate_document(doc)
+    out = []
+    for issue in issues:
+        line, col = _locate(issue.path, marks)
+        pointer = issue.pointer()
+        prefix = f"{pointer}: " if pointer != "/" else ""
+        out.append(FileIssue(line, col, prefix + issue.message))
+    return out
+
+
+def sniff_scenario_file(path: str) -> bool:
+    """Whether ``path`` claims to be a chaos scenario document.
+
+    Used by the lint engine to pick candidates out of a source tree:
+    a parseable mapping with a ``schema: chaos/...`` key, or -- for
+    files too broken to parse -- a literal ``schema: chaos/`` line, so
+    a syntax error in a scenario file still surfaces as a finding
+    instead of silently exempting the file.
+    """
+    if not os.path.isfile(path):
+        return False
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError:
+        return False
+    try:
+        doc = yaml.safe_load(text)
+    except yaml.YAMLError:
+        doc = None
+    if isinstance(doc, dict):
+        return str(doc.get("schema", "")).startswith("chaos/")
+    return '"schema"' in text and '"chaos/' in text or any(
+        line.strip().startswith("schema:") and "chaos/" in line
+        for line in text.splitlines()
+    )

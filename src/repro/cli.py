@@ -195,14 +195,24 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     # the registered @N size variants -- 80-node cells run for minutes,
     # so sizes are an explicit opt-in via "name@N" or --sizes.
     names: List[str] = []
+    file_specs = [
+        spec.strip()
+        for arg in (args.scenario_file or [])
+        for spec in arg.split(",")
+        if spec.strip()
+    ]
     if args.scenarios == "all":
         names = scenario_names(include_sized=False)
-    elif args.scenarios is None and not args.compose:
+    elif args.scenarios is None and not args.compose and not file_specs:
         names = scenario_names(include_sized=False)
     elif args.scenarios:
         names = args.scenarios.split(",")
     if args.compose:
         names.extend(spec.strip() for spec in args.compose.split(","))
+    # chaos DSL documents join the grid by path; they take the same @N /
+    # ~jNus suffixes as registered names and pass through
+    # canonical_scenario_name unchanged
+    names.extend(file_specs)
     # a compose spec may duplicate a registered composition (or another
     # spec, or an underscore alias of either): one canonical name, one
     # set of grid cells
@@ -449,6 +459,12 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return lint_main(args)
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.chaos.cli import cmd_chaos as chaos_main
+
+    return chaos_main(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="DEFINED reproduction command line"
@@ -517,6 +533,12 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--compose", default=None, metavar="A+B[,C+D]",
                        help="compose registered scenarios on the fly and "
                             "sweep the compositions (e.g. flap_storm+partition)")
+    sweep.add_argument("--scenario-file", action="append", default=None,
+                       metavar="FILE[,FILE]",
+                       help="add chaos DSL scenario files (YAML/JSON, "
+                            "schema chaos/v1) to the grid; repeatable, "
+                            "takes the same @N/~jNus suffixes as names "
+                            "(validate first with 'repro chaos validate')")
     sweep.add_argument("--sizes", default=None, metavar="N[,M]",
                        help="re-scale every selected scenario onto N-node "
                             "topologies (the 'name@N' dynamic variant); "
@@ -669,6 +691,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_lint_arguments(lint)
     lint.set_defaults(func=cmd_lint)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="chaos scenario DSL: validate scenario files, emit the schema",
+    )
+    from repro.chaos.cli import add_arguments as add_chaos_arguments
+
+    add_chaos_arguments(chaos)
+    chaos.set_defaults(func=cmd_chaos)
     return parser
 
 

@@ -92,6 +92,7 @@ class BeaconService:
             # sensitivity footnote 2 warns about.
             delays = self.network.delay_matrix()[leader]
             depth = max(delays.values()) if delays else 0
+            skews = self.network.clock_skew_us
             for node_id in self.network.node_ids():
                 if node_id not in delays:
                     continue  # partitioned from the leader (footnote 2)
@@ -102,7 +103,14 @@ class BeaconService:
                     payload=self.group,
                     size_bytes=16,
                 )
-                self.network.transmit_deterministic(beacon, depth)
+                # Per-node clock skew (chaos DSL): a skewed node observes
+                # every beacon a constant offset late (positive) or early
+                # (negative), shifting which group its external events are
+                # tagged with.  Group tagging stays deterministic -- the
+                # skew is configuration, not a jitter draw -- and replay
+                # is unaffected because recordings carry group numbers.
+                delay = depth + skews.get(node_id, 0) if skews else depth
+                self.network.transmit_deterministic(beacon, max(0, delay))
                 self.beacons_sent += 1
         self._handle = self.network.sim.schedule(
             self.interval_us, self._tick, label="beacon-tick"

@@ -114,6 +114,7 @@ def build_ospf_network(
     daemon_factory: Optional[Callable] = None,
     window_us: Optional[int] = None,
     snapshots: str = "cow",
+    tuning=None,
 ) -> Tuple[Network, Optional[Recorder], Optional[BeaconService], Optional[ComprehensiveLog]]:
     """Instantiate a production network in one of the four modes.
 
@@ -122,9 +123,13 @@ def build_ospf_network(
     (vanilla + comprehensive recording).  ``snapshots`` selects the
     checkpoint *mechanism* for DEFINED-RB shims (``cow``: store-version
     snapshots; ``deepcopy``: the full-copy fallback); ``strategy``
-    selects the checkpoint *cost model* (MI/TF/PF/TM).
+    selects the checkpoint *cost model* (MI/TF/PF/TM).  ``tuning`` is an
+    optional :class:`repro.simnet.faults.NetworkTuning` (chaos DSL clock
+    skew / link faults), installed before the mode-specific lossless
+    checks so gray-failure windows are rejected for instrumented modes.
     """
     net = to_network(graph, seed=seed, jitter_us=jitter_us)
+    net.install_tuning(tuning)
     factory = daemon_factory or ospf_daemon_factory(graph)
     recorder: Optional[Recorder] = None
     beacons: Optional[BeaconService] = None
@@ -228,6 +233,7 @@ def run_production(
     tail_us: int = 2 * SECOND,
     window_us: Optional[int] = None,
     snapshots: str = "cow",
+    tuning=None,
 ) -> ProductionResult:
     """Drive one workload through one production network.
 
@@ -247,6 +253,7 @@ def run_production(
         daemon_factory=daemon_factory,
         window_us=window_us,
         snapshots=snapshots,
+        tuning=tuning,
     )
     if beacons is not None:
         beacons.start()

@@ -15,7 +15,13 @@ import os
 from typing import Dict, List, Optional
 
 from repro.lint import suppress as _suppress
-from repro.lint.engine import Finding, check_file, iter_python_files
+from repro.lint.engine import (
+    Finding,
+    check_file,
+    check_scenario_file,
+    iter_python_files,
+    iter_scenario_files,
+)
 
 #: Every rule id with its one-line contract (mirrored in the README's
 #: "Determinism contract" section; the lint tests assert the mirror).
@@ -34,6 +40,8 @@ RULES: Dict[str, str] = {
               "older token already discarded (LIFO stack discipline)",
     "STO204": "no mutating a message payload after origination (the "
               "fingerprint pipeline caches repr(payload) at send time)",
+    "CHS301": "every in-tree chaos scenario file (YAML/JSON with a "
+              "`schema: chaos/...` header) must validate and compile",
 }
 
 DEFAULT_BASELINE = "lint-baseline.json"
@@ -68,6 +76,18 @@ def run_lint(
     for path, relpath in iter_python_files(paths, root):
         checked += 1
         findings = check_file(path, relpath)
+        if not findings:
+            continue
+        with open(path, "r", encoding="utf-8") as fh:
+            disabled = _suppress.pragma_lines(fh.read().splitlines())
+        active, suppressed = _suppress.apply_pragmas(findings, disabled)
+        all_active.extend(active)
+        all_pragma.extend(suppressed)
+    for path, relpath in iter_scenario_files(paths, root):
+        findings = check_scenario_file(path, relpath)
+        if findings is None:
+            continue  # YAML/JSON without a chaos header is not ours
+        checked += 1
         if not findings:
             continue
         with open(path, "r", encoding="utf-8") as fh:

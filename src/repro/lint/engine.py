@@ -143,22 +143,29 @@ def _collect_ns_receivers(tree: ast.AST) -> Set[str]:
 # ----------------------------------------------------------------------
 # file discovery
 # ----------------------------------------------------------------------
-def iter_python_files(paths: List[str], root: str) -> Iterator[Tuple[str, str]]:
-    """Yield ``(abspath, relpath)`` for every .py under ``paths``,
-    sorted for deterministic report order."""
+#: Extensions that may hold chaos scenario documents (CHS301).
+SCENARIO_SUFFIXES = (".yaml", ".yml", ".json")
+
+
+def _iter_files(
+    paths: List[str], root: str, suffixes: Tuple[str, ...]
+) -> Iterator[Tuple[str, str]]:
+    """Yield ``(abspath, relpath)`` for every file under ``paths`` whose
+    name ends with one of ``suffixes``, sorted for deterministic report
+    order."""
     seen: Set[str] = set()
     collected: List[Tuple[str, str]] = []
     for raw in paths:
         target = raw if os.path.isabs(raw) else os.path.join(root, raw)
         if os.path.isfile(target):
-            candidates = [target]
+            candidates = [target] if target.endswith(suffixes) else []
         else:
             candidates = []
             for dirpath, dirnames, filenames in os.walk(target):
                 dirnames.sort()
                 dirnames[:] = [d for d in dirnames if d != "__pycache__"]
                 for fn in sorted(filenames):
-                    if fn.endswith(".py"):
+                    if fn.endswith(suffixes):
                         candidates.append(os.path.join(dirpath, fn))
         for path in candidates:
             path = os.path.abspath(path)
@@ -168,6 +175,21 @@ def iter_python_files(paths: List[str], root: str) -> Iterator[Tuple[str, str]]:
             collected.append((path, os.path.relpath(path, root)))
     collected.sort(key=lambda pair: pair[1])
     yield from collected
+
+
+def iter_python_files(paths: List[str], root: str) -> Iterator[Tuple[str, str]]:
+    """Yield ``(abspath, relpath)`` for every .py under ``paths``,
+    sorted for deterministic report order."""
+    yield from _iter_files(paths, root, (".py",))
+
+
+def iter_scenario_files(
+    paths: List[str], root: str
+) -> Iterator[Tuple[str, str]]:
+    """Yield ``(abspath, relpath)`` for every YAML/JSON file under
+    ``paths``, sorted.  Whether a given file actually *is* a chaos
+    scenario is decided later by sniffing its ``schema:`` header."""
+    yield from _iter_files(paths, root, SCENARIO_SUFFIXES)
 
 
 def check_file(path: str, relpath: str) -> List[Finding]:
@@ -192,5 +214,33 @@ def check_file(path: str, relpath: str) -> List[Finding]:
     findings: List[Finding] = []
     findings.extend(drules.check(ctx))
     findings.extend(srules.check(ctx))
+    findings.sort()
+    return findings
+
+
+def check_scenario_file(path: str, relpath: str) -> Optional[List[Finding]]:
+    """Validate one chaos scenario document (rule CHS301).
+
+    Returns ``None`` when the file is not a chaos scenario at all (no
+    ``schema: chaos/...`` header) so ambient YAML/JSON -- CI configs,
+    baselines -- is not dragged under the schema.  A scenario that fails
+    to parse or validate yields one finding per issue, anchored at the
+    offending line/column."""
+    from repro import chaos
+
+    if not chaos.sniff_scenario_file(path):
+        return None
+    findings = [
+        Finding(
+            path=relpath.replace(os.sep, "/"),
+            line=issue.line,
+            col=issue.col,
+            rule="CHS301",
+            message=issue.message,
+            hint="fix the document against docs/scenario-schema.md; "
+            "`repro chaos validate <file>` reproduces this locally",
+        )
+        for issue in chaos.validate_file(path)
+    ]
     findings.sort()
     return findings

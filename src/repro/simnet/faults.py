@@ -1,0 +1,136 @@
+"""Declarative network perturbations: clock skew and link-layer faults.
+
+The chaos scenario DSL (:mod:`repro.chaos`) compiles its continuous
+fault families into a :class:`NetworkTuning` that the harness installs on
+the production :class:`~repro.simnet.network.Network` before boot.  Two
+things make these safe to mix with the DEFINED machinery:
+
+* every fault draw comes from a named, seed-derived RNG stream
+  (``fault|<link>|<src>``), so the same scenario file and seed produce
+  the same perturbed execution bit-for-bit; and
+* faults only perturb what the paper's model already treats as
+  nondeterministic -- message *timing* (skew, duplication, reordering)
+  or message *loss* on links the recorder is not asked to treat as
+  reliable (gray failures run in uninstrumented modes only; see
+  ``Network.assert_lossless``).
+
+A :class:`NetworkTuning` is pure configuration: frozen, hashable,
+mergeable.  It carries no RNG state of its own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+#: Link-layer fault families understood by the transmit hook.
+FAULT_KINDS = ("duplicate", "reorder", "gray")
+
+#: Hard bound on per-node clock skew: half the 250 ms beacon interval.
+#: Larger skews would let one node's beacon for group *g* arrive after
+#: another node's beacon for group *g+1*, which is no longer "skew" but
+#: a different group schedule entirely.
+MAX_CLOCK_SKEW_US = 125_000
+
+
+@dataclass(frozen=True)
+class LinkFaultWindow:
+    """One continuous link-layer fault, active over a time window.
+
+    ``links`` lists canonical link ids (``"a~b"``, endpoints sorted);
+    empty means the fault applies to every link.  The window is
+    half-open: active while ``start_us <= now < end_us`` (``end_us=None``
+    means until the end of the run).
+    """
+
+    kind: str
+    links: Tuple[str, ...] = ()
+    #: Per-packet trigger probability (``duplicate`` / ``reorder``).
+    probability: float = 0.0
+    #: ``reorder`` only: extra delay drawn uniformly from
+    #: ``[0, magnitude_us]`` for packets that skip the FIFO clamp.
+    magnitude_us: int = 0
+    #: ``gray`` only: extra drop probability on a link that stays up.
+    loss: float = 0.0
+    start_us: int = 0
+    end_us: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown link fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.kind in ("duplicate", "reorder"):
+            if not 0.0 < self.probability <= 1.0:
+                raise ValueError(
+                    f"{self.kind} fault needs probability in (0, 1], got {self.probability}"
+                )
+        if self.kind == "reorder" and self.magnitude_us < 0:
+            raise ValueError("reorder magnitude_us must be >= 0")
+        if self.kind == "gray" and not 0.0 < self.loss < 1.0:
+            raise ValueError(
+                f"gray fault needs loss in (0, 1), got {self.loss}"
+            )
+        if self.start_us < 0:
+            raise ValueError("start_us must be >= 0")
+        if self.end_us is not None and self.end_us <= self.start_us:
+            raise ValueError("end_us must be > start_us")
+
+    def matches(self, link_id: str) -> bool:
+        return not self.links or link_id in self.links
+
+    def active_at(self, now_us: int) -> bool:
+        if now_us < self.start_us:
+            return False
+        return self.end_us is None or now_us < self.end_us
+
+
+@dataclass(frozen=True)
+class NetworkTuning:
+    """Frozen bundle of continuous perturbations for one production run.
+
+    ``clock_skew_us`` maps node ids to a constant offset (positive =
+    that node observes each beacon late, negative = early) applied to
+    the beacon fan-out delay; it perturbs per-node group tagging without
+    touching the recorder, so Theorem-1 replay still holds.
+    """
+
+    clock_skew_us: Tuple[Tuple[str, int], ...] = ()
+    link_faults: Tuple[LinkFaultWindow, ...] = ()
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for node_id, skew in self.clock_skew_us:
+            if node_id in seen:
+                raise ValueError(f"duplicate clock-skew entry for node {node_id!r}")
+            seen.add(node_id)
+            if abs(skew) > MAX_CLOCK_SKEW_US:
+                raise ValueError(
+                    f"clock skew for {node_id!r} is {skew}us; |skew| must be "
+                    f"<= {MAX_CLOCK_SKEW_US}us (half the beacon interval)"
+                )
+
+    def __bool__(self) -> bool:
+        return bool(self.clock_skew_us or self.link_faults)
+
+    def skew_map(self) -> Dict[str, int]:
+        return dict(self.clock_skew_us)
+
+    def merged(self, other: "NetworkTuning") -> "NetworkTuning":
+        """Combine two tunings: skews sum per node, fault windows concatenate.
+
+        Used by scenario composition (``a+b``), where each component
+        contributes its own perturbations.
+        """
+        skews = self.skew_map()
+        for node_id, skew in other.clock_skew_us:
+            total = skews.get(node_id, 0) + skew
+            # Summed skews saturate at the bound rather than raising:
+            # composition must stay total over valid components.
+            total = max(-MAX_CLOCK_SKEW_US, min(MAX_CLOCK_SKEW_US, total))
+            skews[node_id] = total
+        merged_skews = tuple(sorted(skews.items()))
+        return NetworkTuning(
+            clock_skew_us=merged_skews,
+            link_faults=self.link_faults + other.link_faults,
+        )

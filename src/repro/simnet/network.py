@@ -25,6 +25,7 @@ from repro.simnet.events import (
     EventSchedule,
     ExternalEvent,
 )
+from repro.simnet.faults import LinkFaultWindow, NetworkTuning
 from repro.simnet.link import DelayModel, Link
 from repro.simnet.messages import Message
 from repro.simnet.node import Node, Stack, VanillaStack
@@ -77,6 +78,26 @@ class Network:
         #: facts (which have no single observing daemon) enter the partial
         #: recording.
         self.event_tap = None
+        #: Per-node constant clock skew applied to beacon fan-out delays
+        #: (chaos DSL ``clock_skew`` fault); empty means no skew anywhere.
+        #: Consumed by :class:`repro.core.groups.BeaconService`.
+        self.clock_skew_us: Dict[str, int] = {}
+        #: Installed link-layer fault windows, in installation order.  The
+        #: transmit hot path checks truthiness first, so a network with no
+        #: faults draws exactly the same RNG sequence as before the chaos
+        #: subsystem existed.
+        self._link_faults: Tuple[LinkFaultWindow, ...] = ()
+        #: Duplicated uids whose first copy has not arrived yet, and uids
+        #: whose surviving copy already arrived (next copy is suppressed).
+        self._dup_pending: set = set()
+        self._dup_suppress: set = set()
+        #: Observability counters for the fault families, keyed by effect.
+        self.fault_stats: Dict[str, int] = {
+            "duplicated": 0,
+            "dup_suppressed": 0,
+            "reordered": 0,
+            "gray_drops": 0,
+        }
 
     # ------------------------------------------------------------------
     # construction
@@ -223,13 +244,22 @@ class Network:
         control planes run over TCP; footnote 4 offers recording losses
         as the alternative, which this reproduction does not implement).
         Silently running an instrumented network over lossy links would
-        produce recordings that cannot reproduce the execution.
+        produce recordings that cannot reproduce the execution.  Gray
+        failures (lossy-but-up fault windows from the chaos DSL) are loss
+        by another name and are rejected for the same reason.
         """
         for link in self.links.values():
             if link.model_ab.loss > 0 or link.model_ba.loss > 0:
                 raise ValueError(
                     f"{context} requires lossless links, but {link.link_id} "
                     f"has a loss model; use loss=0 or an uninstrumented mode"
+                )
+        for fault in self._link_faults:
+            if fault.kind == "gray":
+                raise ValueError(
+                    f"{context} requires lossless links, but a gray-failure "
+                    f"window (loss={fault.loss}) is installed; gray scenarios "
+                    f"run in uninstrumented modes only"
                 )
 
     def max_propagation_us(self) -> int:
@@ -240,6 +270,99 @@ class Network:
                 if d > best:
                     best = d
         return best
+
+    # ------------------------------------------------------------------
+    # declarative perturbations (chaos DSL fault families)
+    # ------------------------------------------------------------------
+    def install_tuning(self, tuning: Optional[NetworkTuning]) -> None:
+        """Install clock skew and link-layer fault windows before the run.
+
+        Validates targets against the built topology: unknown node ids or
+        link ids fail loudly here rather than silently perturbing nothing.
+        Must be called before :meth:`start` -- fault windows are consulted
+        at transmit time, so installing mid-run would perturb only the
+        remaining traffic, which is not a scenario the DSL can express.
+        """
+        if tuning is None or not tuning:
+            return
+        for node_id, skew in tuning.clock_skew_us:
+            if node_id not in self.nodes:
+                raise ValueError(
+                    f"clock-skew tuning references unknown node {node_id!r}"
+                )
+            self.clock_skew_us[node_id] = self.clock_skew_us.get(node_id, 0) + skew
+        known_links = {link.link_id for link in self.links.values()}
+        for fault in tuning.link_faults:
+            for link_id in fault.links:
+                if link_id not in known_links:
+                    raise ValueError(
+                        f"{fault.kind} fault window references unknown link "
+                        f"{link_id!r}"
+                    )
+        self._link_faults = self._link_faults + tuple(tuning.link_faults)
+
+    def _fault_transmit(
+        self,
+        link: Link,
+        msg: Message,
+        model: DelayModel,
+        delay: int,
+        extra_delay_us: int,
+    ) -> bool:
+        """Apply active link-layer fault windows to an outgoing packet.
+
+        Returns True when the packet was fully handled here (gray-dropped
+        or rescheduled out of FIFO order); the caller then skips the
+        normal FIFO-clamped scheduling.  Duplication schedules the extra
+        copy and returns False so the original proceeds normally.  All
+        draws come from a dedicated per-(link, direction) stream so a
+        scenario with no faults consumes the exact jitter sequence it did
+        before this hook existed.
+        """
+        frng = self.rng_stream(f"fault|{link.link_id}|{msg.src}")
+        for fault in self._link_faults:
+            if not fault.matches(link.link_id) or not fault.active_at(self.sim.now):
+                continue
+            if fault.kind == "gray":
+                if frng.random() < fault.loss:
+                    self.fault_stats["gray_drops"] += 1
+                    return True
+            elif fault.kind == "reorder":
+                if frng.random() < fault.probability:
+                    # The packet takes a different path through the
+                    # forwarding fabric: it skips the per-direction FIFO
+                    # clamp entirely (may overtake or be overtaken) and
+                    # picks up an extra uniform delay.
+                    extra = (
+                        frng.randrange(fault.magnitude_us + 1)
+                        if fault.magnitude_us > 0
+                        else 0
+                    )
+                    self.fault_stats["reordered"] += 1
+                    self.sim.schedule(
+                        delay + extra,
+                        self._deliver,
+                        msg,
+                        label=f"deliver:{msg.uid}",
+                    )
+                    return True
+            elif fault.kind == "duplicate":
+                if frng.random() < fault.probability:
+                    # Link-layer duplication beneath a deduplicating
+                    # transport (the paper's control planes run over TCP):
+                    # the daemon sees the uid once, at the earlier of the
+                    # two independently delayed arrivals; the later copy
+                    # is suppressed in _deliver and only counted.
+                    self.fault_stats["duplicated"] += 1
+                    self._dup_pending.add(msg.uid)
+                    copy_delay = model.sample_us(frng) + extra_delay_us
+                    self.sim.schedule(
+                        copy_delay,
+                        self._deliver,
+                        msg,
+                        label=f"deliver-dup:{msg.uid}",
+                    )
+        return False
 
     # ------------------------------------------------------------------
     # RNG streams
@@ -293,6 +416,10 @@ class Network:
         if model.sample_loss(rng):
             return msg.uid
         delay = model.sample_us(rng) + extra_delay_us
+        if self._link_faults and self._fault_transmit(
+            link, msg, model, delay, extra_delay_us
+        ):
+            return msg.uid
         fifo_key = (link.link_id, msg.src)
         arrival = max(
             self.sim.now + delay, self._fifo_front.get(fifo_key, 0) + 1
@@ -318,6 +445,17 @@ class Network:
         return msg.uid
 
     def _deliver(self, msg: Message) -> None:
+        if msg.uid in self._dup_suppress:
+            # Second copy of a duplicated packet: the transport already
+            # accepted the first arrival, so this one is dropped before
+            # any other bookkeeping (including annihilation, which was
+            # settled by the surviving copy).
+            self._dup_suppress.discard(msg.uid)
+            self.fault_stats["dup_suppressed"] += 1
+            return
+        if msg.uid in self._dup_pending:
+            self._dup_pending.discard(msg.uid)
+            self._dup_suppress.add(msg.uid)
         if msg.uid in self._annihilated:
             self._annihilated.discard(msg.uid)
             node = self.nodes.get(msg.dst)

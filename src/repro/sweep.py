@@ -88,6 +88,7 @@ from repro.simnet.events import (
     EventSchedule,
     ExternalEvent,
 )
+from repro.simnet.faults import NetworkTuning
 from repro.simnet.network import DEFAULT_TIME_UNIT_US
 from repro.topology import TopologyGraph, waxman_family
 
@@ -95,6 +96,7 @@ TopologyFactory = Callable[[int], TopologyGraph]
 ScheduleFactory = Callable[[TopologyGraph, int], EventSchedule]
 DaemonBuilder = Callable[[TopologyGraph], Optional[Callable]]
 ExpectPredicate = Callable[[ProductionResult], bool]
+TuningFactory = Callable[[TopologyGraph, int], NetworkTuning]
 
 #: Modes a scenario runs in by default.  ``defined`` cells additionally
 #: run a DEFINED-LS replay and check the Theorem-1 invariant.
@@ -132,6 +134,15 @@ class Scenario:
     ordering: str = "OO"
     settle_us: int = 3 * SECOND
     tail_us: int = 2 * SECOND
+    #: Optional continuous-perturbation factory (chaos DSL fault
+    #: families): maps the concrete topology and the *workload* seed to a
+    #: :class:`~repro.simnet.faults.NetworkTuning` (per-node clock skew,
+    #: link-layer duplication/reordering, gray loss) installed on the
+    #: production network before boot.  Keyed on the workload seed -- not
+    #: the jitter seed -- so the perturbation *configuration* is part of
+    #: the workload and the seed-invariance probe varies only its timing
+    #: draws.
+    tuning: Optional[TuningFactory] = None
     #: Nominal node count of ``topology`` (None: unknown / not meaningful).
     base_nodes: Optional[int] = None
     #: Size-parameterization hook: maps a node count to a re-scaled
@@ -292,6 +303,29 @@ def _expand_paren_size(spec: str) -> str:
 #: ``scenario_names()``.
 _DYNAMIC_CACHE: Dict[str, Scenario] = {}
 
+#: Scenario-file components (chaos DSL documents) are recognized by
+#: extension anywhere a scenario name is accepted.  Paths containing
+#: ``+`` are unsupported -- ``+`` is the composition operator.
+_SCENARIO_FILE_SUFFIXES = (".yaml", ".yml", ".json")
+
+
+def _is_scenario_file(name: str) -> bool:
+    return name.endswith(_SCENARIO_FILE_SUFFIXES)
+
+
+def _load_scenario_file(path: str) -> Scenario:
+    """Compile a chaos DSL document into a :class:`Scenario`.
+
+    Deferred import: :mod:`repro.chaos` imports this module for the
+    Scenario/seed_split machinery, so the dependency must stay one-way at
+    import time.  The loader caches on ``(path, mtime, size)``, which is
+    why file components bypass :data:`_DYNAMIC_CACHE` -- an edited file
+    must recompile.
+    """
+    from repro.chaos import load_scenario_file
+
+    return load_scenario_file(path)
+
 
 def _resolve_component(part: str) -> Optional[Scenario]:
     """Resolve one composition component: ``name[@N][~jJus]``.
@@ -305,7 +339,7 @@ def _resolve_component(part: str) -> Optional[Scenario]:
         return _REGISTRY[part]
     base, jitter = _split_trailing_jitter(part)
     size = None
-    if base not in _REGISTRY:
+    if base not in _REGISTRY and not _is_scenario_file(base):
         size_match = _SIZE_SUFFIX.match(base)
         if size_match:
             inner = size_match.group("base")
@@ -315,10 +349,13 @@ def _resolve_component(part: str) -> Optional[Scenario]:
                     "suffix -- write 'name@N~jJus', not 'name~jJus@N'"
                 )
             base, size = inner, int(size_match.group("n"))
-    base = base if base in _REGISTRY else base.replace("_", "-")
-    if base not in _REGISTRY:
-        return None
-    scenario = _REGISTRY[base]
+    if _is_scenario_file(base):
+        scenario = _load_scenario_file(base)
+    else:
+        base = base if base in _REGISTRY else base.replace("_", "-")
+        if base not in _REGISTRY:
+            return None
+        scenario = _REGISTRY[base]
     if size is not None:
         scenario = scenario.sized(size)
     if jitter is not None:
@@ -386,7 +423,10 @@ def _resolve_dynamic(name: str) -> Optional[Scenario]:
             # re-parse as per-component jitter, a different scenario
             jitter_name = f"({scenario.name})~j{trailing}us"
         scenario = jittered(scenario, jitter_us=trailing, name=jitter_name)
-    _DYNAMIC_CACHE[name] = scenario
+    if not any(_is_scenario_file(p.split("@")[0].split("~j")[0]) for p in parts):
+        # file components recompile when the file changes (the loader
+        # caches on mtime); memoizing them here would pin the first parse
+        _DYNAMIC_CACHE[name] = scenario
     return scenario
 
 
@@ -477,10 +517,15 @@ def sized_spec(name: str, n: int) -> str:
 def get_scenario(name: str) -> Scenario:
     """Look up a registered scenario, or resolve a composed/sized/
     jittered spec (``a+b``, ``a@40``, ``(a+b)@40``, ``a~j1us``,
-    ``a@40+b@40~j2us``) from registered components."""
+    ``a@40+b@40~j2us``) from registered components.  A component ending
+    in ``.yaml`` / ``.yml`` / ``.json`` is loaded as a chaos DSL scenario
+    file (:mod:`repro.chaos`) and participates in the same grammar:
+    ``examples/skew.yaml~j1us`` fuzzes a file scenario."""
     _ensure_builtins()
     if name in _REGISTRY:
         return _REGISTRY[name]
+    if _is_scenario_file(name):
+        return _load_scenario_file(name)
     dynamic = _resolve_dynamic(name)
     if dynamic is not None:
         return dynamic
@@ -586,6 +631,22 @@ def compose(
     def expect(result: ProductionResult) -> bool:
         return all(predicate(result) for predicate in predicates)
 
+    # continuous perturbations merge like schedules: each component
+    # builds its tuning on the same seed-split stream its schedule uses,
+    # then skews sum per node and fault windows concatenate
+    tuning_comps = [(i, c) for i, c in enumerate(comps) if c.tuning is not None]
+    tuning: Optional[TuningFactory] = None
+    if tuning_comps:
+        def tuning(graph: TopologyGraph, seed: int) -> NetworkTuning:
+            merged = NetworkTuning()
+            for i, comp in tuning_comps:
+                merged = merged.merged(
+                    comp.tuning(
+                        graph, seed_split(seed, f"{composed_name}#{i}:{comp.name}")
+                    )
+                )
+            return merged
+
     # size-parameterized iff every component is: "(a+b)@N" re-composes
     # the components' own sized variants, so it resolves to exactly the
     # same scenario as "a@N+b@N" (same canonical name, same seed-split
@@ -602,6 +663,7 @@ def compose(
         schedule=schedule,
         expect=expect if predicates else None,
         modes=modes,
+        tuning=tuning,
         jitter_us=max(c.jitter_us for c in comps),
         ordering=comps[0].ordering,
         settle_us=min(c.settle_us for c in comps),
@@ -750,6 +812,81 @@ def partition_schedule(
         schedule.add(ExternalEvent(time_us=at_us, kind=LINK_DOWN, target=link))
         schedule.add(
             ExternalEvent(time_us=at_us + heal_after_us, kind=LINK_UP, target=link)
+        )
+    return schedule
+
+
+def zone_blackout_schedule(
+    graph: TopologyGraph,
+    seed: int,
+    size: int = 2,
+    nodes: Optional[Sequence[str]] = None,
+    at_us: int = 4 * SECOND + 131_000,
+    duration_us: int = 3 * SECOND,
+) -> EventSchedule:
+    """A correlated zone failure: several routers go dark *simultaneously*
+    (shared power/cooling domain), then all restart together.
+
+    Victims are either named explicitly or drawn seed-deterministically;
+    at least one node always survives so the network keeps existing.
+    """
+    pool = sorted(graph.nodes)
+    if nodes is not None:
+        victims = sorted(nodes)
+        unknown = [v for v in victims if v not in graph.nodes]
+        if unknown:
+            raise ValueError(
+                f"zone blackout names nodes not in {graph.name}: {unknown}"
+            )
+        if len(victims) >= len(pool):
+            raise ValueError("zone blackout must leave at least one node up")
+    else:
+        rng = _rng(f"zone|{graph.name}", seed)
+        victims = sorted(rng.sample(pool, min(size, len(pool) - 1)))
+    schedule = EventSchedule()
+    for victim in victims:
+        schedule.add(ExternalEvent(time_us=at_us, kind=NODE_DOWN, target=victim))
+        schedule.add(
+            ExternalEvent(time_us=at_us + duration_us, kind=NODE_UP, target=victim)
+        )
+    return schedule
+
+
+def srlg_schedule(
+    graph: TopologyGraph,
+    seed: int,
+    size: int = 2,
+    links: Optional[Sequence[Tuple[str, str]]] = None,
+    at_us: int = 4 * SECOND + 173_000,
+    duration_us: int = 2 * SECOND,
+) -> EventSchedule:
+    """A shared-risk link group: several links fail *as one* (a common
+    conduit cut) and are repaired together.
+
+    The correlated simultaneous failure is the point -- independent flaps
+    give each LSA wave time to converge, an SRLG cut does not.  Links are
+    either named explicitly or drawn seed-deterministically from the
+    flappable set (both endpoints keep degree >= 1).
+    """
+    if links is not None:
+        group = [tuple(link) for link in links]
+        for a, b in group:
+            if not any(
+                (a, b) == (x, y) or (a, b) == (y, x) for x, y, _d in graph.edges
+            ):
+                raise ValueError(f"SRLG names a link not in {graph.name}: {a}-{b}")
+        group.sort()
+    else:
+        eligible = flappable_links(graph)
+        if not eligible:
+            raise ValueError(f"topology {graph.name} has no flappable links")
+        rng = _rng(f"srlg|{graph.name}", seed)
+        group = sorted(rng.sample(eligible, min(size, len(eligible))))
+    schedule = EventSchedule()
+    for link in group:
+        schedule.add(ExternalEvent(time_us=at_us, kind=LINK_DOWN, target=link))
+        schedule.add(
+            ExternalEvent(time_us=at_us + duration_us, kind=LINK_UP, target=link)
         )
     return schedule
 
@@ -1103,6 +1240,11 @@ def run_cell(cell: SweepCell) -> CellResult:
         schedule = scenario.schedule(graph, cell.seed)
         daemon_factory = scenario.daemon(graph) if scenario.daemon else None
         snapshots = cell.snapshots if cell.snapshots is not None else "cow"
+        # like the schedule, the tuning is workload: same cell.seed under
+        # a different jitter seed must perturb the same nodes/links
+        tuning = (
+            scenario.tuning(graph, cell.seed) if scenario.tuning is not None else None
+        )
         result = run_production(
             graph,
             schedule,
@@ -1119,6 +1261,7 @@ def run_cell(cell: SweepCell) -> CellResult:
             tail_us=scenario.tail_us,
             window_us=cell.window_us,
             snapshots=snapshots,
+            tuning=tuning,
         )
         replay_fp: Optional[str] = None
         invariant: Optional[bool] = None
@@ -1218,6 +1361,10 @@ def _spawn_portable(name: str) -> bool:
         size_match = _SIZE_SUFFIX.match(part)
         if size_match:
             part = size_match.group("base")
+        if _is_scenario_file(part):
+            # workers share the filesystem; a missing/invalid file fails
+            # loudly in the worker the same way it would in the parent
+            return True
         return (
             part in _BUILTIN_NAMES
             or part.replace("_", "-") in _BUILTIN_NAMES

@@ -1,0 +1,236 @@
+"""Tests for the chaos fault families at the simnet layer: the
+``NetworkTuning``/``LinkFaultWindow`` value objects, the duplication /
+reordering / gray-failure hooks in ``Network``, and clock skew as a
+beacon-timing perturbation.
+
+The determinism claims pinned here are the paper's: skew, duplication
+and reordering perturb *timing only*, so Theorem 1 must keep holding —
+DEFINED cells replay fingerprint-exact and are invariant to the jitter
+seed.  Gray failures drop packets, which the recording contract does
+not capture (footnote 4), so the instrumented modes must refuse them
+at network-build time.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.harness import build_ospf_network, run_production
+from repro.simnet.faults import (
+    FAULT_KINDS,
+    MAX_CLOCK_SKEW_US,
+    LinkFaultWindow,
+    NetworkTuning,
+)
+from repro.sweep import _diamond_topology, flap_storm_schedule
+
+
+def _diamond():
+    return _diamond_topology(seed=0)
+
+
+def _all_links(graph):
+    return sorted("~".join(sorted(edge)) for edge in graph.edges)
+
+
+# ----------------------------------------------------------------------
+# value objects
+# ----------------------------------------------------------------------
+class TestLinkFaultWindow:
+    def test_kinds_are_closed(self):
+        assert set(FAULT_KINDS) == {"duplicate", "reorder", "gray"}
+
+    @pytest.mark.parametrize("bad", [0.0, -0.1, 1.5])
+    def test_duplicate_probability_bounds(self, bad):
+        with pytest.raises(ValueError):
+            LinkFaultWindow(kind="duplicate", probability=bad)
+
+    @pytest.mark.parametrize("bad", [0.0, 1.0])
+    def test_gray_loss_is_exclusive(self, bad):
+        with pytest.raises(ValueError):
+            LinkFaultWindow(kind="gray", loss=bad)
+
+    def test_window_must_be_ordered(self):
+        with pytest.raises(ValueError):
+            LinkFaultWindow(
+                kind="reorder", probability=0.5, start_us=10, end_us=10
+            )
+
+    def test_matches_and_active_at(self):
+        w = LinkFaultWindow(
+            kind="duplicate",
+            probability=0.5,
+            links=("a~b",),
+            start_us=100,
+            end_us=200,
+        )
+        assert w.matches("a~b") and not w.matches("a~c")
+        assert not w.active_at(99)
+        assert w.active_at(100) and w.active_at(199)
+        assert not w.active_at(200)  # half-open [start, end)
+        everywhere = LinkFaultWindow(kind="duplicate", probability=0.5)
+        assert everywhere.matches("anything") and everywhere.active_at(10**9)
+
+
+class TestNetworkTuning:
+    def test_empty_is_falsy(self):
+        assert not NetworkTuning()
+        assert NetworkTuning(clock_skew_us=(("a", 5),))
+
+    def test_duplicate_skew_entries_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkTuning(clock_skew_us=(("a", 5), ("a", -5)))
+
+    def test_skew_bound_enforced(self):
+        NetworkTuning(clock_skew_us=(("a", MAX_CLOCK_SKEW_US),))
+        with pytest.raises(ValueError):
+            NetworkTuning(clock_skew_us=(("a", MAX_CLOCK_SKEW_US + 1),))
+
+    def test_merged_sums_skews_and_concatenates_windows(self):
+        w1 = LinkFaultWindow(kind="duplicate", probability=0.1)
+        w2 = LinkFaultWindow(kind="reorder", probability=0.2)
+        a = NetworkTuning(clock_skew_us=(("a", 10), ("b", -5)), link_faults=(w1,))
+        b = NetworkTuning(clock_skew_us=(("b", 7),), link_faults=(w2,))
+        merged = a.merged(b)
+        assert merged.skew_map() == {"a": 10, "b": 2}
+        assert merged.link_faults == (w1, w2)
+
+    def test_merged_saturates_at_the_skew_bound(self):
+        a = NetworkTuning(clock_skew_us=(("a", MAX_CLOCK_SKEW_US),))
+        merged = a.merged(a)
+        assert merged.skew_map()["a"] == MAX_CLOCK_SKEW_US
+
+
+# ----------------------------------------------------------------------
+# network integration
+# ----------------------------------------------------------------------
+class TestInstallTuning:
+    def test_unknown_node_rejected(self):
+        net, _, _, _ = build_ospf_network(_diamond(), mode="vanilla", seed=1)
+        with pytest.raises(ValueError, match="unknown node"):
+            net.install_tuning(NetworkTuning(clock_skew_us=(("zz", 5),)))
+
+    def test_unknown_link_rejected(self):
+        net, _, _, _ = build_ospf_network(_diamond(), mode="vanilla", seed=1)
+        bad = LinkFaultWindow(kind="duplicate", probability=0.5, links=("x~y",))
+        with pytest.raises(ValueError, match="unknown link"):
+            net.install_tuning(NetworkTuning(link_faults=(bad,)))
+
+    def test_gray_refused_by_instrumented_modes(self):
+        gray = NetworkTuning(
+            link_faults=(LinkFaultWindow(kind="gray", loss=0.05),)
+        )
+        for mode in ("defined", "ddos"):
+            with pytest.raises(ValueError, match="gray"):
+                build_ospf_network(_diamond(), mode=mode, seed=1, tuning=gray)
+        # the uninstrumented baseline accepts lossy links
+        build_ospf_network(_diamond(), mode="vanilla", seed=1, tuning=gray)
+
+
+def _run(mode, tuning, seed=1, jitter_us=200):
+    graph = _diamond()
+    schedule = flap_storm_schedule(graph, seed=seed, n_flaps=2)
+    return run_production(
+        graph, schedule, mode=mode, seed=seed, jitter_us=jitter_us,
+        tuning=tuning,
+    )
+
+
+class TestDuplication:
+    def test_exactly_once_delivery_under_forced_duplication(self):
+        tuning = NetworkTuning(
+            link_faults=(LinkFaultWindow(kind="duplicate", probability=1.0),)
+        )
+        result = _run("vanilla", tuning)
+        stats = result.network.fault_stats
+        assert stats["duplicated"] > 0
+        # each duplicated uid is delivered exactly once: the loser copy
+        # of every pair that has fully arrived was suppressed
+        assert 0 < stats["dup_suppressed"] <= stats["duplicated"]
+
+    def test_defined_replay_exact_under_duplication(self):
+        tuning = NetworkTuning(
+            link_faults=(LinkFaultWindow(kind="duplicate", probability=0.25),)
+        )
+        a = _run("defined", tuning)
+        b = _run("defined", tuning)
+        assert a.network.fault_stats["duplicated"] > 0
+        assert a.fingerprint == b.fingerprint
+
+
+class TestReordering:
+    def test_reorder_fires_and_stays_deterministic(self):
+        tuning = NetworkTuning(
+            link_faults=(
+                LinkFaultWindow(
+                    kind="reorder", probability=0.5, magnitude_us=4000
+                ),
+            )
+        )
+        a = _run("defined", tuning)
+        b = _run("defined", tuning)
+        assert a.network.fault_stats["reordered"] > 0
+        assert a.fingerprint == b.fingerprint
+
+    def test_fault_draws_are_jitter_seed_independent(self):
+        # fault draws ride their own named RNG streams, so changing the
+        # delivery-jitter level must not change *which* packets fault
+        tuning = NetworkTuning(
+            link_faults=(
+                LinkFaultWindow(
+                    kind="reorder", probability=0.5, magnitude_us=4000
+                ),
+            )
+        )
+        a = _run("defined", tuning, jitter_us=200)
+        b = _run("defined", tuning, jitter_us=200)
+        assert a.network.fault_stats == b.network.fault_stats
+
+
+class TestGray:
+    def test_gray_drops_packets_in_vanilla(self):
+        tuning = NetworkTuning(
+            link_faults=(LinkFaultWindow(kind="gray", loss=0.5),)
+        )
+        result = _run("vanilla", tuning)
+        assert result.network.fault_stats["gray_drops"] > 0
+
+
+class TestClockSkew:
+    def _skew(self, node, us):
+        return NetworkTuning(clock_skew_us=((node, us),))
+
+    def test_skew_changes_the_execution_but_not_theorem_1(self):
+        from repro.harness import run_ls_replay
+
+        baseline = _run("defined", None)
+        skewed = _run("defined", self._skew("a", 40_000))
+        assert skewed.fingerprint != baseline.fingerprint
+        # Theorem 1: the recording replays the skewed run bit for bit
+        replay = run_ls_replay(_diamond(), skewed.recording)
+        assert replay.fingerprint == skewed.fingerprint
+
+    def test_skew_is_repeatable(self):
+        a = _run("defined", self._skew("b", -25_000))
+        b = _run("defined", self._skew("b", -25_000))
+        assert a.fingerprint == b.fingerprint
+
+    def test_skew_installed_on_the_network(self):
+        net, _, _, _ = build_ospf_network(
+            _diamond(), mode="vanilla", seed=1,
+            tuning=self._skew("a", 1000),
+        )
+        assert net.clock_skew_us == {"a": 1000}
+
+
+class TestZeroTuningIsFree:
+    def test_none_and_empty_tuning_are_identical_to_no_tuning(self):
+        a = _run("defined", None)
+        b = _run("defined", NetworkTuning())
+        assert a.fingerprint == b.fingerprint
+        assert a.network.fault_stats == {
+            "duplicated": 0,
+            "dup_suppressed": 0,
+            "reordered": 0,
+            "gray_drops": 0,
+        }

@@ -20,7 +20,12 @@ _MARKER = re.compile(r"#\s*lint-expect:\s*([A-Z]{3}\d{3})")
 def expected_findings():
     """(relpath, rule, line) for every ``# lint-expect:`` marker."""
     expected = set()
-    for path in sorted(FIXTURES.rglob("*.py")):
+    fixture_files = sorted(
+        list(FIXTURES.rglob("*.py"))
+        + list(FIXTURES.rglob("*.yaml"))
+        + list(FIXTURES.rglob("*.json"))
+    )
+    for path in fixture_files:
         rel = path.relative_to(REPO_ROOT).as_posix()
         for lineno, line in enumerate(
             path.read_text().splitlines(), start=1
@@ -203,7 +208,7 @@ class TestAcceptance:
     def test_rule_table_is_complete(self):
         assert len(RULES) >= 8
         for rule, doc in RULES.items():
-            assert re.fullmatch(r"(DET1|STO2)\d{2}", rule)
+            assert re.fullmatch(r"(DET1|STO2|CHS3)\d{2}", rule)
             assert doc
 
 
