@@ -25,6 +25,7 @@ from repro.sweep import (
     _diamond_topology,
     _expect_all_links_healed,
     _expect_all_nodes_up,
+    _expect_damping,
     crash_restart_schedule,
     flap_storm_schedule,
     partition_schedule,
@@ -71,11 +72,15 @@ def _compile_event_block(
         kwargs = _opt(block, "start_us", "min_hold_us", "max_hold_us", "gap_us")
         if "flaps" in block:
             kwargs["n_flaps"] = block["flaps"]
+        if "links" in block:
+            kwargs["links"] = [tuple(pair) for pair in block["links"]]
         return flap_storm_schedule(graph, sseed, **kwargs)
     if kind == "crash_restart":
         kwargs = _opt(block, "start_us", "down_for_us", "gap_us")
         if "crashes" in block:
             kwargs["n_crashes"] = block["crashes"]
+        if "nodes" in block:
+            kwargs["nodes"] = list(block["nodes"])
         return crash_restart_schedule(graph, sseed, **kwargs)
     if kind == "partition":
         kwargs = _opt(block, "heal_after_us")
@@ -219,6 +224,12 @@ def compile_document(doc: Dict[str, Any]) -> Scenario:
         predicates.append(_expect_all_links_healed)
     if expect_block.get("nodes_up"):
         predicates.append(_expect_all_nodes_up)
+    if "damping" in expect_block:
+        damping = expect_block["damping"]
+        predicates.append(_expect_damping(
+            min_suppressed=damping.get("min_suppressed"),
+            released_by_end=damping.get("released_by_end"),
+        ))
     expect = None
     if predicates:
         def expect(result) -> bool:

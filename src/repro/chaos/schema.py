@@ -168,6 +168,14 @@ SCENARIO_SCHEMA = {
                         "description": "Independent link down/up flaps.",
                         "properties": {
                             "kind": {"const": "flap_storm"},
+                            "links": dict(
+                                _LINK_ARRAY,
+                                description=(
+                                    "Restrict flapping to these links, as "
+                                    "[node-a, node-b] endpoint pairs "
+                                    "(default: every link is flappable)."
+                                ),
+                            ),
                             "flaps": {
                                 "type": "integer",
                                 "minimum": 1,
@@ -204,6 +212,15 @@ SCENARIO_SCHEMA = {
                         "description": "Router crash/restart cycles.",
                         "properties": {
                             "kind": {"const": "crash_restart"},
+                            "nodes": {
+                                "type": "array",
+                                "minItems": 1,
+                                "items": {"type": "string", "minLength": 1},
+                                "description": (
+                                    "Restrict crashes to these nodes "
+                                    "(default: every node is crashable)."
+                                ),
+                            },
                             "crashes": {
                                 "type": "integer",
                                 "minimum": 1,
@@ -481,6 +498,33 @@ SCENARIO_SCHEMA = {
                 "nodes_up": {
                     "type": "boolean",
                     "description": "Every node is up at run end.",
+                },
+                "damping": {
+                    "type": "object",
+                    "additionalProperties": False,
+                    "description": (
+                        "Route-flap damping behaviour, checked by feeding "
+                        "the run's observed link-down transitions (one "
+                        "virtual-time unit = one beacon interval) through "
+                        "the reference FlapDampener at its defaults."
+                    ),
+                    "properties": {
+                        "min_suppressed": {
+                            "type": "integer",
+                            "minimum": 1,
+                            "description": (
+                                "At least this many link-down transitions "
+                                "arrive while their link is suppressed."
+                            ),
+                        },
+                        "released_by_end": {
+                            "type": "boolean",
+                            "description": (
+                                "Penalties decayed below reuse by run end: "
+                                "no link is still suppressed."
+                            ),
+                        },
+                    },
                 },
             },
         },

@@ -250,6 +250,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             transport=args.transport,
             snapshots=args.snapshots,
             artifact_dir=args.artifact_out,
+            cell_timeout_s=args.cell_timeout,
+            retries=args.retries,
+            journal_dir=args.journal,
+            resume_dir=args.resume,
         )
     except (KeyError, ValueError) as exc:
         raise SystemExit(exc.args[0] if exc.args else str(exc))
@@ -339,6 +343,8 @@ def cmd_envelope(args: argparse.Namespace) -> int:
             target_quantile=args.target_quantile,
             margin=args.margin,
             artifact_dir=args.artifact_out,
+            cell_timeout_s=args.cell_timeout,
+            retries=args.retries,
         )
     except (KeyError, ValueError) as exc:
         raise SystemExit(exc.args[0] if exc.args else str(exc))
@@ -565,6 +571,24 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["cow", "deepcopy"],
                        help="checkpoint mechanism for every cell's DEFINED "
                             "stacks (default: harness default, cow)")
+    sweep.add_argument("--cell-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-cell wall-clock deadline; hung workers are "
+                            "reaped and the cell surfaces as timed_out "
+                            "(enables supervised execution)")
+    sweep.add_argument("--retries", type=int, default=None, metavar="N",
+                       help="retry budget for transient infra failures "
+                            "(worker crash, ring stall, OOM kill); a cell "
+                            "failing transiently more than N times in a row "
+                            "is quarantined (enables supervised execution)")
+    sweep.add_argument("--journal", default=None, metavar="DIR",
+                       help="append each finished cell to a durable journal "
+                            "in DIR (crash-safe; resumable via --resume)")
+    sweep.add_argument("--resume", default=None, metavar="DIR",
+                       help="skip cells already completed in the journal at "
+                            "DIR and continue journaling there; the merged "
+                            "report is semantically identical to an "
+                            "uninterrupted run")
     sweep.add_argument("--report-out", default=None, metavar="PATH",
                        help="write the JSON divergence report here")
     sweep.add_argument("--artifact-out", default=None, metavar="DIR",
@@ -637,6 +661,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="safety margin on top of the measured reach "
                           "(default 0.25)")
     env.add_argument("--workers", type=int, default=1)
+    env.add_argument("--cell-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="per-cell wall-clock deadline (supervised "
+                          "execution; see 'repro sweep --cell-timeout')")
+    env.add_argument("--retries", type=int, default=None, metavar="N",
+                     help="transient-failure retry budget (supervised "
+                          "execution; see 'repro sweep --retries')")
     env.add_argument("--report-out", default=None, metavar="PATH",
                      help="write the JSON envelope report here")
     env.add_argument("--artifact-out", default=None, metavar="DIR",

@@ -372,6 +372,8 @@ class EnvelopeRunner:
         target_quantile: float = 0.99,
         margin: float = 0.25,
         artifact_dir: Optional[str] = None,
+        cell_timeout_s: Optional[float] = None,
+        retries: Optional[int] = None,
     ) -> None:
         if not scenarios:
             raise ValueError("envelope mapping needs at least one scenario")
@@ -416,6 +418,7 @@ class EnvelopeRunner:
         self._sweep = SweepRunner(
             scenarios=list(self.scenarios), seeds=self.seeds,
             workers=workers, transport=transport,
+            cell_timeout_s=cell_timeout_s, retries=retries,
         )
         if isinstance(windows_us, str):
             if windows_us != "auto":

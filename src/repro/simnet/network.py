@@ -91,6 +91,12 @@ class Network:
         #: whose surviving copy already arrived (next copy is suppressed).
         self._dup_pending: set = set()
         self._dup_suppress: set = set()
+        #: Applied link up/down transitions, in application order, as
+        #: ``(time_us, link_id, up)``.  Post-run analyses (the chaos
+        #: DSL's route-damping expectation, flap forensics) read this
+        #: instead of re-deriving flaps from schedules, so mid-run state
+        #: (a link still down at run end) is captured too.
+        self.link_transitions: List[Tuple[int, str, bool]] = []
         #: Observability counters for the fault families, keyed by effect.
         self.fault_stats: Dict[str, int] = {
             "duplicated": 0,
@@ -493,6 +499,9 @@ class Network:
             if link is None:
                 raise ValueError(f"external event references unknown link {event.target}")
             link.up = event.kind == LINK_UP
+            # flap history for post-run analysis (e.g. the chaos DSL's
+            # route-damping expectations): (time_us, link id, up?)
+            self.link_transitions.append((self.sim.now, link.link_id, link.up))
             for end in (a, b):
                 self.nodes[end].observe_external(event)
         elif event.kind in (NODE_DOWN, NODE_UP):

@@ -61,6 +61,7 @@ Two scale-out mechanisms round the grid machinery out:
 
 from __future__ import annotations
 
+import hashlib
 import os
 import random
 import re
@@ -746,10 +747,28 @@ def flap_storm_schedule(
     min_hold_us: int = SECOND // 2,
     max_hold_us: int = 3 * SECOND,
     gap_us: int = SECOND + 217_000,
+    links: Optional[Sequence[Tuple[str, str]]] = None,
 ) -> EventSchedule:
-    """A storm of independent link flaps; every link heals by the end."""
+    """A storm of independent link flaps; every link heals by the end.
+
+    Victims are drawn per flap from ``links`` when given (an explicit
+    target list, validated against the graph -- how damping scenarios
+    concentrate a storm on one known link) or from the flappable set
+    otherwise.  Hold times and gaps stay seed-drawn either way.
+    """
     rng = _rng(f"flap|{graph.name}", seed)
-    links = flappable_links(graph)
+    if links is not None:
+        chosen = [tuple(link) for link in links]
+        for a, b in chosen:
+            if not any(
+                (a, b) == (x, y) or (a, b) == (y, x) for x, y, _d in graph.edges
+            ):
+                raise ValueError(
+                    f"flap storm names a link not in {graph.name}: {a}-{b}"
+                )
+        links = sorted(chosen)
+    else:
+        links = flappable_links(graph)
     if not links:
         raise ValueError(f"topology {graph.name} has no flappable links")
     schedule = EventSchedule()
@@ -770,11 +789,23 @@ def crash_restart_schedule(
     start_us: int = 4 * SECOND + 211_000,
     down_for_us: int = 3 * SECOND,
     gap_us: int = 5 * SECOND,
+    nodes: Optional[Sequence[str]] = None,
 ) -> EventSchedule:
     """Routers die and come back: a ``node_down`` / ``node_up`` cycle per
-    victim, victims drawn deterministically from the seed."""
+    victim, victims drawn deterministically from the seed -- from an
+    explicit ``nodes`` target list when given, the whole graph
+    otherwise."""
     rng = _rng(f"crash|{graph.name}", seed)
-    nodes = sorted(graph.nodes)
+    if nodes is not None:
+        victims_pool = sorted(nodes)
+        unknown = [node for node in victims_pool if node not in graph.nodes]
+        if unknown:
+            raise ValueError(
+                f"crash/restart names nodes not in {graph.name}: {unknown}"
+            )
+        nodes = victims_pool
+    else:
+        nodes = sorted(graph.nodes)
     schedule = EventSchedule()
     t = start_us
     for _ in range(n_crashes):
@@ -1077,6 +1108,52 @@ def _expect_all_nodes_up(result: ProductionResult) -> bool:
     return all(node.up for node in result.network.nodes.values())
 
 
+def _expect_damping(
+    min_suppressed: Optional[int] = None,
+    released_by_end: Optional[bool] = None,
+) -> Callable[[ProductionResult], bool]:
+    """Build a route-flap-damping expectation predicate.
+
+    Replays the run's observed link-down transitions (one virtual-time
+    unit per beacon interval) through a reference
+    :class:`~repro.routing.damping.FlapDampener` at its paper defaults:
+
+    * ``min_suppressed``: at least this many downs land while the link
+      is suppressed -- pins that the storm is dense enough to trip
+      damping at all;
+    * ``released_by_end``: by run end the penalty has decayed below the
+      reuse threshold on every link -- pins that the scenario's tail is
+      long enough for suppression to release.
+
+    The dampener is a pure function of the transition log, so the
+    predicate is as deterministic as the run that produced it.
+    """
+
+    def predicate(result: ProductionResult) -> bool:
+        from repro.routing.damping import FlapDampener
+
+        network = result.network
+        unit = network.time_unit_us
+        dampener = FlapDampener()
+        links_seen = set()
+        suppressed_downs = 0
+        for time_us, link_id, up in network.link_transitions:
+            if up:
+                continue
+            links_seen.add(link_id)
+            if dampener.flap(link_id, time_us // unit):
+                suppressed_downs += 1
+        if min_suppressed is not None and suppressed_downs < min_suppressed:
+            return False
+        if released_by_end:
+            end_vt = network.sim.now // unit
+            if any(dampener.poll(link_id, end_vt) for link_id in sorted(links_seen)):
+                return False
+        return True
+
+    return predicate
+
+
 # ----------------------------------------------------------------------
 # grid cells and the worker (module-level, so it pickles)
 # ----------------------------------------------------------------------
@@ -1168,6 +1245,14 @@ class CellResult:
     node_headroom: Optional[Dict[str, WindowHeadroomStats]] = None
     wall_seconds: float = 0.0
     error: Optional[str] = None
+    #: Executions this result took (supervised retries; 1 elsewhere).
+    attempts: int = 1
+    #: Coverage accounting (see :meth:`SweepReport.coverage`):
+    #: ``completed`` -- the cell executed to a final answer (error or
+    #: not); ``timed_out`` -- reaped past the supervised deadline;
+    #: ``quarantined`` -- parked after exhausting transient retries;
+    #: ``resumed`` -- replayed from a journal instead of executed.
+    outcome: str = "completed"
 
     @property
     def key(self) -> Tuple[str, int, str]:
@@ -1429,6 +1514,79 @@ class SweepReport:
     # backwards-compatible alias (pre-probe name)
     repeat_mismatches = invariance_splits
 
+    # -- coverage accounting -------------------------------------------
+    def timed_out(self) -> List[CellResult]:
+        """Cells the supervised watchdog reaped past their deadline."""
+        return [c for c in self.cells if c.outcome == "timed_out"]
+
+    def quarantined(self) -> List[CellResult]:
+        """Cells parked after exhausting their transient-retry budget."""
+        return [c for c in self.cells if c.outcome == "quarantined"]
+
+    def resumed(self) -> List[CellResult]:
+        """Cells replayed from a resume journal instead of executed."""
+        return [c for c in self.cells if c.outcome == "resumed"]
+
+    def coverage(self) -> Dict[str, int]:
+        """What the grid actually did, cell by cell.
+
+        A partial report must never masquerade as a full one: any
+        non-zero ``timed_out``/``quarantined`` count means coverage
+        gaps, and ``resumed`` says how much of the grid was inherited
+        from a journal rather than executed here.
+        """
+        counts = {"completed": 0, "resumed": 0, "timed_out": 0, "quarantined": 0}
+        for c in self.cells:
+            counts[c.outcome] = counts.get(c.outcome, 0) + 1
+        counts["cells"] = len(self.cells)
+        return counts
+
+    def semantic_digest(self) -> str:
+        """Order-insensitive content hash of the grid's semantic outcomes.
+
+        Covers exactly what the grid *computed* -- cell identities,
+        fingerprints, verdicts, counters, headroom -- and excludes how
+        it was computed: wall seconds, attempt counts, worker topology,
+        and outcome provenance (``resumed`` vs ``completed``).  An
+        interrupted grid resumed from its journal must therefore digest
+        identically to the same grid run uninterrupted; the CI
+        interrupted-grid job pins this.
+        """
+        from repro.artifact.bundle import canonical_json
+
+        rows = []
+        for c in self.cells:
+            rows.append({
+                "scenario": c.scenario,
+                "seed": c.seed,
+                "mode": c.mode,
+                "repeat": c.repeat,
+                "jitter_seed": c.jitter_seed,
+                "window_us": c.window_us,
+                "jitter_us": c.jitter_us,
+                "snapshots": c.snapshots,
+                "fingerprint": c.fingerprint,
+                "replay_fingerprint": c.replay_fingerprint,
+                "invariant_ok": c.invariant_ok,
+                "expected_ok": c.expected_ok,
+                "late_deliveries": c.late_deliveries,
+                "rollbacks": c.rollbacks,
+                "deliveries": c.deliveries,
+                "recording_bytes": c.recording_bytes,
+                "headroom": (
+                    c.headroom.to_dict() if c.headroom is not None else None
+                ),
+                "node_headroom": (
+                    {n: hr.to_dict() for n, hr in sorted(c.node_headroom.items())}
+                    if c.node_headroom
+                    else None
+                ),
+                "error": c.error,
+            })
+        rows.sort(key=canonical_json)
+        doc = {"seeds": list(self.seeds), "repeats": self.repeats, "cells": rows}
+        return hashlib.sha256(canonical_json(doc).encode("ascii")).hexdigest()
+
     def ok(self) -> bool:
         return not (
             self.errors()
@@ -1530,6 +1688,19 @@ class SweepReport:
             f"grid: {len(self.cells)} cells, {self.workers} worker(s), "
             f"{self.wall_seconds:.2f}s wall"
         )
+        coverage = self.coverage()
+        if (
+            coverage["timed_out"]
+            or coverage["quarantined"]
+            or coverage["resumed"]
+        ):
+            parts.append(
+                "coverage: "
+                f"{coverage['completed']} completed, "
+                f"{coverage['resumed']} resumed from journal, "
+                f"{coverage['timed_out']} timed out, "
+                f"{coverage['quarantined']} quarantined"
+            )
         parts.append(
             "verdict: OK -- every DEFINED cell reproduced bit-for-bit"
             if self.ok()
@@ -1551,6 +1722,8 @@ class SweepReport:
                 "mode": c.mode,
                 "repeat": c.repeat,
                 "error": c.error,
+                "outcome": c.outcome,
+                "attempts": c.attempts,
                 "invariant_ok": c.invariant_ok,
                 "expected_ok": c.expected_ok,
                 "late_deliveries": c.late_deliveries,
@@ -1588,6 +1761,10 @@ class SweepReport:
             "repeats": self.repeats,
             "workers": self.workers,
             "wall_seconds": self.wall_seconds,
+            "coverage": self.coverage(),
+            "semantic_digest": self.semantic_digest(),
+            "timed_out": [cell_dict(c) for c in self.timed_out()],
+            "quarantined": [cell_dict(c) for c in self.quarantined()],
             "errors": [cell_dict(c) for c in self.errors()],
             "theorem1_violations": [
                 cell_dict(c) for c in self.invariant_violations()
@@ -1642,6 +1819,10 @@ class SweepRunner:
         transport: str = "shm",
         snapshots: Optional[str] = None,
         artifact_dir: Optional[str] = None,
+        cell_timeout_s: Optional[float] = None,
+        retries: Optional[int] = None,
+        journal_dir: Optional[str] = None,
+        resume_dir: Optional[str] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -1649,6 +1830,32 @@ class SweepRunner:
             raise ValueError("repeats must be >= 1")
         if transport not in ("shm", "futures"):
             raise ValueError(f"unknown transport {transport!r}")
+        #: Supervision policy (see :mod:`repro.supervise`): armed when a
+        #: per-cell deadline or a retry budget is configured, inert
+        #: otherwise -- the legacy execution paths are untouched unless
+        #: the caller opts in.
+        self.policy = None
+        if cell_timeout_s is not None or retries is not None:
+            from repro.supervise import SupervisionPolicy
+            from repro.supervise.executor import DEFAULT_RETRIES
+
+            if transport == "futures":
+                raise ValueError(
+                    "supervised execution (cell_timeout_s/retries) requires "
+                    "the shm transport"
+                )
+            self.policy = SupervisionPolicy(
+                cell_timeout_s=cell_timeout_s,
+                retries=retries if retries is not None else DEFAULT_RETRIES,
+            )
+        #: Cell-journal directory (append-only, crash-safe): every
+        #: finished cell is durably recorded so an interrupted grid can
+        #: be resumed.  ``resume_dir`` replays completed cells from an
+        #: existing journal *and* keeps journaling into it (unless a
+        #: separate ``journal_dir`` is given), so a twice-interrupted
+        #: grid keeps one linear history.
+        self.journal_dir = journal_dir
+        self.resume_dir = resume_dir
         if snapshots is not None:
             from repro.core.statestore import SnapshotStrategy
 
@@ -1776,7 +1983,60 @@ class SweepRunner:
         cells: Sequence[SweepCell],
         progress: Optional[Callable[[CellResult], None]],
     ):
-        if self.workers == 1 or not cells:
+        """Dispatch + the journal/resume wrapper around every transport.
+
+        Without a journal or resume directory this is a pass-through to
+        :meth:`_execute` (the legacy paths, byte-identical behavior).
+        With one, completed cells from the resume journal are yielded
+        first (outcome ``resumed``, no execution), and every newly
+        executed cell is durably journaled before it is yielded -- so a
+        sweep killed at any instant can resume from its journal.
+        """
+        cells = list(cells)
+        journal_dir = self.journal_dir or self.resume_dir
+        if journal_dir is None and self.resume_dir is None:
+            yield from self._execute(cells, progress)
+            return
+
+        from repro.supervise.journal import (
+            CellJournal,
+            cell_fingerprint,
+            load_completed,
+            payload_to_result,
+        )
+
+        resumed: Dict[int, CellResult] = {}
+        if self.resume_dir is not None:
+            completed = load_completed(self.resume_dir)
+            for index, cell in enumerate(cells):
+                record = completed.get(cell_fingerprint(cell))
+                if record is not None:
+                    resumed[index] = payload_to_result(cell, record["result"])
+        journal = CellJournal(journal_dir)
+        for index, result in resumed.items():
+            if progress is not None:
+                progress(result)
+            yield index, result
+        todo = [index for index in range(len(cells)) if index not in resumed]
+        if not todo:
+            return
+        # progress fires here (after journaling), not in the inner path,
+        # so a callback exception can never lose a journal write
+        for sub_index, result in self._execute([cells[i] for i in todo], None):
+            index = todo[sub_index]
+            journal.record(cells[index], result)
+            if progress is not None:
+                progress(result)
+            yield index, result
+
+    def _execute(
+        self,
+        cells: Sequence[SweepCell],
+        progress: Optional[Callable[[CellResult], None]],
+    ):
+        if self.policy is not None and cells:
+            yield from self._iter_supervised(cells, progress)
+        elif self.workers == 1 or not cells:
             for index, cell in enumerate(cells):
                 result = run_cell(cell)
                 if progress is not None:
@@ -1786,6 +2046,69 @@ class SweepRunner:
             yield from self._iter_futures(cells, progress)
         else:
             yield from self._iter_streamed(cells, progress)
+
+    def _iter_supervised(self, cells, progress):
+        """Supervised execution: deadlines, classified retries, quarantine.
+
+        ``workers=1`` without a deadline retries inline (no pool); any
+        configured deadline needs a separate process to reap, so those
+        grids run on a supervised pool even single-worker.
+        """
+        from repro.supervise.executor import (
+            inline_supervised_iter,
+            supervised_iter,
+        )
+
+        if self.workers == 1 and self.policy.cell_timeout_s is None:
+            yield from inline_supervised_iter(
+                cells,
+                self.policy,
+                artifact_dir=self.artifact_dir,
+                progress=progress,
+            )
+            return
+
+        import multiprocessing
+
+        from repro.sweep_stream import adaptive_ring_capacity
+
+        ctx = self._worker_context() or multiprocessing.get_context()
+        capacity = (
+            adaptive_ring_capacity(len(cells))
+            if STREAM_RING_CAPACITY is None
+            else max(2, min(len(cells), STREAM_RING_CAPACITY))
+        )
+        produced = 0
+        try:
+            for item in supervised_iter(
+                cells,
+                workers=self.workers,
+                ctx=ctx,
+                policy=self.policy,
+                ring_capacity=capacity,
+                artifact_dir=self.artifact_dir,
+                progress=progress,
+            ):
+                produced += 1
+                yield item
+        except OSError as exc:  # pragma: no cover - no usable shared memory
+            if produced:
+                raise
+            import warnings
+
+            warnings.warn(
+                f"shared-memory result ring unavailable ({exc}); watchdog "
+                "deadlines disabled, falling back to inline supervised "
+                "execution",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            yield from inline_supervised_iter(
+                cells,
+                self.policy,
+                artifact_dir=self.artifact_dir,
+                progress=progress,
+            )
 
     def _iter_futures(self, cells, progress):
         """Legacy transport: one pickled result future per grid cell."""
@@ -1885,6 +2208,8 @@ class SweepRunner:
                             return
                         pending[future] = index
 
+                from repro.sweep_stream import ResultPushError
+
                 try:
                     top_up()
                     while pending:
@@ -1897,6 +2222,22 @@ class SweepRunner:
                             if isinstance(exc, BrokenProcessPool):
                                 if fatal is None:
                                     fatal = exc
+                            elif isinstance(exc, ResultPushError):
+                                # the cell finished; its encoded record
+                                # rode the exception -- recover it instead
+                                # of reporting an opaque transport failure
+                                try:
+                                    _idx, payload = decode_record(exc.record)
+                                except Exception:
+                                    cell_failures[index] = exc
+                                else:
+                                    seen.add(index)
+                                    result = _merge_streamed(
+                                        cells[index], payload
+                                    )
+                                    if progress is not None:
+                                        progress(result)
+                                    yield index, result
                             else:
                                 cell_failures[index] = exc
                         if fatal is None:

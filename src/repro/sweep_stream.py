@@ -318,6 +318,36 @@ class RingClosedError(RuntimeError):
     """The consumer marked the ring closed; writers must stop."""
 
 
+class ResultPushError(RuntimeError):
+    """A finished cell's record could not be pushed into the ring.
+
+    This is a *transport* failure carrying the worker's completed work:
+    the cell executed to a result, the result encoded into a record, and
+    only the final hop -- the ring append -- failed (full ring with a
+    stalled consumer, or a ring closed under the writer).  The encoded
+    record rides the exception back through the worker's future, so the
+    parent can :func:`decode_record` it and recover the result without
+    re-executing the cell.
+
+    Raised by :func:`run_streamed_cell`; classified retryable by
+    :mod:`repro.supervise.classify` (the error text embeds the original
+    ring failure, whose markers the classifier knows).
+    """
+
+    def __init__(self, index: int, record: bytes, cause: str) -> None:
+        super().__init__(
+            f"result ring push failed for cell {index}: {cause}"
+        )
+        self.index = index
+        self.record = record
+        self.cause = cause
+
+    def __reduce__(self):
+        # exceptions pickle via args by default; our signature differs,
+        # and this exception must cross the process boundary intact
+        return (ResultPushError, (self.index, self.record, self.cause))
+
+
 class ResultRing:
     """A bounded multi-producer, single-consumer ring of fixed-width
     records in shared memory.
@@ -494,11 +524,20 @@ def run_streamed_cell(index: int, cell) -> int:
     """Execute one grid cell and stream its result record to the parent.
 
     The returned index rides the (tiny) future purely as an ack; the
-    payload travels through the ring.
+    payload travels through the ring.  A push failure -- ring full past
+    the timeout, or closed by the consumer -- raises
+    :class:`ResultPushError` carrying the encoded record, so the
+    finished work survives the transport failure.
     """
     from repro.sweep import run_cell
 
     result = run_cell(cell)
     assert _WORKER_RING is not None, "worker not attached to a result ring"
-    _WORKER_RING.push(encode_result(index, result))
+    record = encode_result(index, result)
+    try:
+        _WORKER_RING.push(record)
+    except (TimeoutError, RingClosedError) as exc:
+        raise ResultPushError(
+            index, record, f"{type(exc).__name__}: {exc}"
+        ) from exc
     return index
